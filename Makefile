@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build vet test bench experiments experiments-fast examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure at Table 1 settings (a few minutes).
+experiments:
+	$(GO) run ./cmd/airbench -csv results all
+
+experiments-fast:
+	$(GO) run ./cmd/airbench -fast all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/stockticker
+	$(GO) run ./examples/gis
+	$(GO) run ./examples/customscheme
+	$(GO) run ./examples/newsfeed
+
+clean:
+	rm -rf results

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTable1WithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-fast", "-quiet", "-csv", dir, "table1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Simulation settings") {
+		t.Fatalf("missing table text:\n%s", out.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "confidence") {
+		t.Fatalf("csv incomplete: %s", data)
+	}
+}
+
+func TestRunRequiresExperiments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fast"}, &out); err == nil {
+		t.Fatal("no experiment ids accepted")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fast", "bogus"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,88 @@
+// Command airmodel prints the paper's analytical model curves (§2) without
+// running any simulation: access time and tuning time in bytes for each
+// scheme over a record-count sweep. Useful for sanity-checking simulation
+// output and for exploring parameter choices instantly.
+//
+// Example:
+//
+//	airmodel -from 7000 -to 34000 -step 4500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"github.com/airindex/airindex/internal/analytical"
+	"github.com/airindex/airindex/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "airmodel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("airmodel", flag.ContinueOnError)
+	from := fs.Int("from", 7000, "sweep start (records)")
+	to := fs.Int("to", 34000, "sweep end (records)")
+	step := fs.Int("step", 4500, "sweep step")
+	recordSize := fs.Int("record-size", 500, "record bytes")
+	keySize := fs.Int("key-size", 25, "key bytes")
+	fanout := fs.Int("fanout", 12, "tree fanout n (0 = derive from record/key geometry)")
+	repl := fs.Int("r", 2, "distributed indexing replicated levels")
+	load := fs.Float64("load", 3, "hashing load factor Nr/Na")
+	sigBytes := fs.Int("sig-bytes", 16, "signature bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *from <= 0 || *to < *from || *step <= 0 {
+		return fmt.Errorf("invalid sweep %d..%d step %d", *from, *to, *step)
+	}
+
+	n := *fanout
+	if n == 0 {
+		// Mirror the treeidx layout: entries of key+offset bytes in the
+		// space left after fixed index-bucket fields.
+		n = (*recordSize - *keySize - 76) / (*keySize + 8)
+		if n < 2 {
+			return fmt.Errorf("key size %d too large for record size %d", *keySize, *recordSize)
+		}
+	}
+	dataBucket := float64(wire.HeaderSize + *recordSize)
+	treeBucket := float64(wire.HeaderSize + wire.OffsetSize + *recordSize)
+	hashBucket := float64(wire.HeaderSize + 13 + *recordSize)
+	sigBucket := float64(wire.HeaderSize + *sigBytes)
+
+	w := tabwriter.NewWriter(out, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "records\tflat At\tflat Tt\tdist At\tdist Tt\t(1,m) At\t(1,m) Tt\thash At\thash Tt\tsig At\tsig Tt\t")
+	for nr := *from; nr <= *to; nr += *step {
+		k := analytical.LevelsFor(n, nr)
+		tp := analytical.TreeParams{Fanout: n, Levels: k, Replicated: *repl, Records: nr}
+		m := analytical.OneMOptimal(tp)
+		hp := analytical.HashParams{
+			Allocated: float64(nr) / *load,
+			Colliding: float64(nr) * (1 - 1 / *load),
+			Records:   float64(nr),
+		}
+		fd := analytical.SignatureExpectedFalseDrops(nr, *sigBytes, 8, 5)
+		fmt.Fprintf(w, "%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t\n",
+			nr,
+			analytical.FlatAccess(nr)*dataBucket,
+			analytical.FlatTuning(nr)*dataBucket,
+			analytical.DistAccess(tp)*treeBucket,
+			analytical.DistTuning(tp)*treeBucket,
+			analytical.OneMAccess(tp, m)*treeBucket,
+			analytical.OneMTuning(tp)*treeBucket,
+			analytical.HashingAccess(hp)*hashBucket,
+			analytical.HashingTuning(hp)*hashBucket,
+			analytical.SignatureAccess(nr, dataBucket, sigBucket),
+			analytical.SignatureTuning(nr, dataBucket, sigBucket, fd),
+		)
+	}
+	return w.Flush()
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunPrintsSweep(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-from", "1000", "-to", "3000", "-step", "1000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 4 { // header + 3 rows
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), out.String())
+	}
+	if !strings.Contains(lines[0], "dist At") || !strings.Contains(lines[0], "sig Tt") {
+		t.Fatalf("header incomplete: %s", lines[0])
+	}
+}
+
+func TestRunDerivedFanout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-from", "1000", "-to", "1000", "-step", "1", "-fanout", "0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadSweep(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-from", "0"},
+		{"-from", "100", "-to", "50"},
+		{"-from", "100", "-to", "200", "-step", "0"},
+		{"-fanout", "0", "-key-size", "400", "-record-size", "500"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallSimulation(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-scheme", "distributed", "-records", "300",
+		"-min-requests", "300", "-max-requests", "600", "-accuracy", "0.1", "-round", "150",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"scheme            distributed", "access time", "tuning time", "found/not found"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunWithErrorInjection(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-scheme", "hashing", "-records", "200", "-ber", "0.1",
+		"-min-requests", "200", "-max-requests", "400", "-accuracy", "0.2", "-round", "100",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "error restarts") {
+		t.Fatalf("error injection run should report restarts:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsUnknownScheme(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scheme", "nope", "-records", "100"}, &out); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-records", "not-a-number"}, &out); err == nil {
+		t.Fatal("bad flag value accepted")
+	}
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTraceEverySchemeKind(t *testing.T) {
+	for _, scheme := range []string{"flat", "(1,m)", "distributed", "hashing", "signature", "hybrid", "broadcast-disks"} {
+		var out bytes.Buffer
+		err := run([]string{"-scheme", scheme, "-records", "200", "-pick", "100"}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if !strings.Contains(out.String(), "=> found=true") {
+			t.Fatalf("%s trace did not find the record:\n%s", scheme, out.String())
+		}
+	}
+}
+
+func TestRunTraceMissing(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scheme", "distributed", "-records", "150", "-missing"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "=> found=false") {
+		t.Fatalf("missing-key trace should fail:\n%s", out.String())
+	}
+}
+
+func TestRunTraceBadScheme(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scheme", "nope"}, &out); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestRunTracePickOutOfRangeDefaultsToMiddle(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scheme", "flat", "-records", "50", "-pick", "999"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "record 25") {
+		t.Fatalf("out-of-range pick should default to the middle:\n%s", out.String())
+	}
+}

@@ -1,0 +1,64 @@
+// GIS point-of-interest lookups: the paper's other §1 scenario. A city
+// broadcasts records for points of interest; mobile clients ask for
+// specific places — and often for places that are not in the broadcast at
+// all ("is there a vegan restaurant near this exit?"). Failed searches are
+// the norm, which is exactly the data-availability axis of the paper's §5.1:
+// this example sweeps availability and shows why the index-tree schemes
+// are the right choice for lookup services with frequent misses.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"github.com/airindex/airindex/internal/core"
+)
+
+func main() {
+	const (
+		pois      = 3000
+		poiRecord = 500 // name, category, coordinates, description
+		poiKey    = 25
+	)
+	schemes := []string{"flat", "signature", "(1,m)", "distributed", "hashing"}
+
+	fmt.Printf("GIS broadcast: %d points of interest, %d-byte records\n", pois, poiRecord)
+	fmt.Println("sweeping the fraction of queries that can be answered at all")
+	fmt.Println()
+
+	for _, avail := range []float64{1.0, 0.5, 0.1} {
+		fmt.Printf("--- %.0f%% of queried places are in the broadcast ---\n", avail*100)
+		w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprintln(w, "scheme\taccess (KB)\ttuning (KB)\tprobes\t")
+		best, bestTuning := "", 0.0
+		for _, scheme := range schemes {
+			cfg := core.DefaultConfig(scheme, pois)
+			cfg.Data.RecordSize = poiRecord
+			cfg.Data.KeySize = poiKey
+			cfg.Availability = avail
+			cfg.Accuracy = 0.02
+			cfg.MinRequests = 2000
+			cfg.MaxRequests = 20000
+			res, err := core.RunOne(cfg)
+			if err != nil {
+				log.Fatalf("%s: %v", scheme, err)
+			}
+			fmt.Fprintf(w, "%s\t%.1f\t%.2f\t%.1f\t\n",
+				scheme, res.Access.Mean()/1024, res.Tuning.Mean()/1024, res.Probes.Mean())
+			if scheme != "flat" && (best == "" || res.Tuning.Mean() < bestTuning) {
+				best, bestTuning = scheme, res.Tuning.Mean()
+			}
+		}
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("lowest power draw at this availability: %s\n\n", best)
+	}
+
+	fmt.Println("takeaway (paper §5.3, criterion 4): under frequent search failures the")
+	fmt.Println("(1,m) and distributed indexing schemes determine absence from the index")
+	fmt.Println("alone — a handful of probes — while every serial scheme scans the full")
+	fmt.Println("cycle just to learn the answer is 'no'.")
+}

@@ -1,0 +1,57 @@
+// News feed: a broadcast-disks scenario beyond the paper's scheme set. A
+// station pushes news articles; a handful of breaking stories draw most of
+// the requests (Zipf demand). Flat broadcast treats every article equally;
+// broadcast disks put the hot stories on a fast "disk" that repeats four
+// times per major cycle — cutting the typical reader's wait while paying
+// with a longer cycle that mostly penalizes the cold tail.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"github.com/airindex/airindex/internal/core"
+)
+
+func main() {
+	const articles = 3000
+
+	fmt.Printf("news feed: %d articles, request popularity follows a Zipf law\n\n", articles)
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "demand skew\tflat wait (KB)\tbdisk wait (KB)\tbdisk p99 (KB)\tverdict\t")
+	for _, zipf := range []float64{0, 1.2, 2.0} {
+		row := map[string]*core.Result{}
+		for _, scheme := range []string{"flat", "broadcast-disks"} {
+			cfg := core.DefaultConfig(scheme, articles)
+			cfg.ZipfS = zipf
+			cfg.Accuracy = 0.02
+			cfg.MinRequests = 3000
+			cfg.MaxRequests = 20000
+			res, err := core.RunOne(cfg)
+			if err != nil {
+				log.Fatalf("%s: %v", scheme, err)
+			}
+			row[scheme] = res
+		}
+		flat := row["flat"].Access.Mean()
+		bd := row["broadcast-disks"].Access.Mean()
+		verdict := "flat wins"
+		if bd < flat {
+			verdict = fmt.Sprintf("bdisk wins %.1fx", flat/bd)
+		}
+		label := fmt.Sprintf("zipf %.1f", zipf)
+		if zipf == 0 {
+			label = "uniform"
+		}
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.0f\t%s\t\n",
+			label, flat/1024, bd/1024, row["broadcast-disks"].AccessP99/1024, verdict)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nnote the p99 column: the cold tail still pays the longer major cycle —")
+	fmt.Println("broadcast disks trade worst-case wait for typical-case wait, which is the")
+	fmt.Println("right trade exactly when demand is skewed.")
+}

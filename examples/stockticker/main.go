@@ -1,0 +1,65 @@
+// Stock ticker: the paper's §1 motivating scenario of wireless stock
+// market delivery. A base station broadcasts quotes for a few thousand
+// instruments; handheld clients look up single symbols. Quotes are small
+// (the record/key ratio is low), updates matter (waiting time counts), and
+// handhelds are battery-bound (tuning time counts) — so this example runs
+// every indexing scheme over the same ticker feed and reports both
+// criteria plus a battery estimate.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"github.com/airindex/airindex/internal/core"
+)
+
+func main() {
+	const (
+		instruments = 4000
+		quoteBytes  = 250 // symbol, bid/ask, volume, depth, timestamp
+		symbolBytes = 12  // exchange-qualified ticker symbol
+		// A 19.2 kbit/s wireless broadcast channel (typical for the
+		// paper's era) moves 2,400 bytes per second.
+		bytesPerSecond = 2400.0
+		// Receiving costs roughly 130 mW on a contemporary wireless NIC.
+		receiveWatts = 0.130
+	)
+
+	fmt.Printf("stock ticker: %d instruments, %d-byte quotes, %d-byte symbols (ratio %d)\n\n",
+		instruments, quoteBytes, symbolBytes, quoteBytes/symbolBytes)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "scheme\tcycle (s)\twait (s)\tlisten (ms)\tmJ/query\tqueries per Wh\t")
+	for _, scheme := range []string{"flat", "(1,m)", "distributed", "hashing", "signature"} {
+		cfg := core.DefaultConfig(scheme, instruments)
+		cfg.Data.RecordSize = quoteBytes
+		cfg.Data.KeySize = symbolBytes
+		cfg.Data.NumAttributes = 3
+		cfg.Accuracy = 0.02
+		cfg.MinRequests = 2000
+		cfg.MaxRequests = 20000
+		res, err := core.RunOne(cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", scheme, err)
+		}
+		waitSec := res.Access.Mean() / bytesPerSecond
+		listenSec := res.Tuning.Mean() / bytesPerSecond
+		joules := listenSec * receiveWatts
+		perWh := 3600.0 / joules
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.0f\t%.2f\t%.0f\t\n",
+			scheme,
+			float64(res.CycleBytes)/bytesPerSecond,
+			waitSec, listenSec*1000, joules*1000, perWh)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nreading the table:")
+	fmt.Println("- flat broadcast minimizes waiting but burns the battery listening to every quote")
+	fmt.Println("- hashing and the tree schemes listen for milliseconds: orders of magnitude more queries per Wh")
+	fmt.Println("- at this low record/key ratio the tree schemes pay a visible cycle-length penalty (paper §5.2)")
+}

@@ -1,0 +1,164 @@
+// Randomized configuration sweeps: every scheme must stay correct for any
+// plausible record-count/key-size geometry, not just the paper's defaults.
+package airindex
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/airindex/airindex/internal/access"
+	"github.com/airindex/airindex/internal/analytical"
+	"github.com/airindex/airindex/internal/core"
+	"github.com/airindex/airindex/internal/datagen"
+	"github.com/airindex/airindex/internal/sim"
+)
+
+// TestRandomGeometries builds every scheme over randomized dataset shapes
+// and checks the fundamental contracts: present keys are found, absent
+// keys are not, tuning never exceeds access, and no query takes more than
+// three cycles.
+func TestRandomGeometries(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260705))
+	schemes := core.SchemeNames()
+	const iterations = 60
+	for it := 0; it < iterations; it++ {
+		cfg := datagen.Config{
+			NumRecords:    50 + rng.Intn(800),
+			RecordSize:    300 + rng.Intn(500),
+			KeySize:       8 + rng.Intn(40),
+			NumAttributes: 1 + rng.Intn(5),
+			Seed:          rng.Int63(),
+		}
+		ds, err := datagen.Generate(cfg)
+		if err != nil {
+			t.Fatalf("iter %d: %v", it, err)
+		}
+		scheme := schemes[rng.Intn(len(schemes))]
+		runCfg := core.DefaultConfig(scheme, cfg.NumRecords)
+		runCfg.Data = cfg
+		bc, err := core.BuildBroadcast(ds, runCfg)
+		if err != nil {
+			// Tree schemes legitimately reject keys too large for any
+			// fanout; nothing else may fail.
+			if strings.Contains(err.Error(), "too large") {
+				continue
+			}
+			t.Fatalf("iter %d %s %+v: %v", it, scheme, cfg, err)
+		}
+		cycle := bc.Channel().CycleLen()
+		for q := 0; q < 8; q++ {
+			rec := rng.Intn(ds.Len())
+			arrival := sim.Time(rng.Int63n(3 * cycle))
+			res, err := access.Walk(bc.Channel(), bc.NewClient(ds.KeyAt(rec)), arrival, 0)
+			if err != nil {
+				t.Fatalf("iter %d %s: %v", it, scheme, err)
+			}
+			if !res.Found {
+				t.Fatalf("iter %d %s %+v: key %d (record %d) not found", it, scheme, cfg, ds.KeyAt(rec), rec)
+			}
+			if res.Tuning > res.Access || res.Access > 3*cycle {
+				t.Fatalf("iter %d %s: implausible accounting %+v (cycle %d)", it, scheme, res, cycle)
+			}
+		}
+		for q := 0; q < 3; q++ {
+			rec := rng.Intn(ds.Len())
+			res, err := access.Walk(bc.Channel(), bc.NewClient(ds.MissingKeyNear(rec)), sim.Time(rng.Int63n(cycle)), 0)
+			if err != nil {
+				t.Fatalf("iter %d %s: %v", it, scheme, err)
+			}
+			if res.Found {
+				t.Fatalf("iter %d %s: phantom record for missing key", it, scheme)
+			}
+		}
+	}
+}
+
+// TestSimulationTracksAnalyticalModels cross-validates the simulator
+// against the paper's closed forms at a mid-size workload: each scheme's
+// simulated mean access time must sit within 20% of its model (the paper's
+// Figure 4 claim), and tuning within the documented constant offsets.
+func TestSimulationTracksAnalyticalModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation cross-check")
+	}
+	const records = 4000
+	run := func(scheme string) *core.Result {
+		cfg := core.DefaultConfig(scheme, records)
+		cfg.Accuracy = 0.02
+		cfg.MinRequests = 3000
+		cfg.MaxRequests = 30000
+		res, err := core.RunOne(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// Flat: At = Tt = (Nr+1)/2 buckets.
+	flatRes := run("flat")
+	flatBucket := float64(flatRes.CycleBytes) / float64(records)
+	wantFlat := analytical.FlatAccess(records) * flatBucket
+	if r := flatRes.Access.Mean() / wantFlat; r < 0.9 || r > 1.1 {
+		t.Errorf("flat access %v vs model %v", flatRes.Access.Mean(), wantFlat)
+	}
+
+	// Distributed: access within 20% of the model at the optimal r.
+	distRes := run("distributed")
+	tp := analytical.TreeParams{
+		Fanout:     int(distRes.Params["fanout"]),
+		Levels:     analytical.LevelsFor(int(distRes.Params["fanout"]), records),
+		Replicated: int(distRes.Params["r"]),
+		Records:    records,
+	}
+	wantDist := analytical.DistAccess(tp) * distRes.Params["bucket_size"]
+	if r := distRes.Access.Mean() / wantDist; r < 0.8 || r > 1.2 {
+		t.Errorf("distributed access %v vs model %v", distRes.Access.Mean(), wantDist)
+	}
+	// Tuning: model undercounts by a documented ~1-1.5 buckets.
+	wantDistT := analytical.DistTuning(tp) * distRes.Params["bucket_size"]
+	diffBuckets := (distRes.Tuning.Mean() - wantDistT) / distRes.Params["bucket_size"]
+	if diffBuckets < 0 || diffBuckets > 2.5 {
+		t.Errorf("distributed tuning %v vs model %v: offset %v buckets outside [0, 2.5]",
+			distRes.Tuning.Mean(), wantDistT, diffBuckets)
+	}
+
+	// Hashing: both metrics within 15%.
+	hashRes := run("hashing")
+	hp := analytical.HashParams{
+		Allocated: hashRes.Params["Na"],
+		Colliding: hashRes.Params["Nc"],
+		Records:   records,
+	}
+	hashBucket := float64(hashRes.CycleBytes) / (hp.Allocated + hp.Colliding)
+	if r := hashRes.Access.Mean() / (analytical.HashingAccess(hp) * hashBucket); r < 0.85 || r > 1.15 {
+		t.Errorf("hashing access off model by factor %v", r)
+	}
+	if r := hashRes.Tuning.Mean() / (analytical.HashingTuning(hp) * hashBucket); r < 0.8 || r > 1.25 {
+		t.Errorf("hashing tuning off model by factor %v", r)
+	}
+
+	// Signature: both metrics within 10% (its model is nearly exact).
+	sigRes := run("signature")
+	sigBytes := 21.0 // header + 16-byte signature
+	dataBytes := 505.0
+	if r := sigRes.Access.Mean() / analytical.SignatureAccess(records, dataBytes, sigBytes); r < 0.9 || r > 1.1 {
+		t.Errorf("signature access off model by factor %v", r)
+	}
+	fd := analytical.SignatureExpectedFalseDrops(records, 16, 8, 5)
+	if r := sigRes.Tuning.Mean() / analytical.SignatureTuning(records, dataBytes, sigBytes, fd); r < 0.9 || r > 1.1 {
+		t.Errorf("signature tuning off model by factor %v", r)
+	}
+
+	// (1,m): access within 20% at the optimal m.
+	onemRes := run("(1,m)")
+	otp := analytical.TreeParams{
+		Fanout:  int(onemRes.Params["fanout"]),
+		Levels:  analytical.LevelsFor(int(onemRes.Params["fanout"]), records),
+		Records: records,
+	}
+	wantOnem := analytical.OneMAccess(otp, int(onemRes.Params["m"])) * onemRes.Params["bucket_size"]
+	if r := onemRes.Access.Mean() / wantOnem; r < 0.8 || r > 1.2 {
+		t.Errorf("(1,m) access %v vs model %v", onemRes.Access.Mean(), wantOnem)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/airindex/airindex
+
+go 1.22

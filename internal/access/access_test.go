@@ -1,0 +1,177 @@
+package access
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/airindex/airindex/internal/channel"
+	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/wire"
+)
+
+type fakeBucket int
+
+func (b fakeBucket) Size() int       { return int(b) }
+func (b fakeBucket) Kind() wire.Kind { return wire.KindData }
+func (b fakeBucket) Encode() []byte  { return make([]byte, int(b)) }
+
+// scriptClient replays a fixed list of steps and records what it saw.
+type scriptClient struct {
+	steps []Step
+	seen  []int
+	ends  []sim.Time
+}
+
+func (c *scriptClient) OnBucket(i int, end sim.Time) Step {
+	c.seen = append(c.seen, i)
+	c.ends = append(c.ends, end)
+	s := c.steps[0]
+	c.steps = c.steps[1:]
+	return s
+}
+
+func testChannel(t *testing.T, sizes ...int) *channel.Channel {
+	t.Helper()
+	bs := make([]channel.Bucket, len(sizes))
+	for i, s := range sizes {
+		bs[i] = fakeBucket(s)
+	}
+	ch, err := channel.Build(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestWalkInitialWaitAndSingleRead(t *testing.T) {
+	// Buckets of 10/20/30 bytes; arrive at t=3, mid bucket 0. The first
+	// complete bucket is bucket 1, starting at 10 and ending at 30.
+	ch := testChannel(t, 10, 20, 30)
+	c := &scriptClient{steps: []Step{Done(true)}}
+	res, err := Walk(ch, c, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.seen) != 1 || c.seen[0] != 1 {
+		t.Fatalf("client saw buckets %v, want [1]", c.seen)
+	}
+	if c.ends[0] != 30 {
+		t.Fatalf("bucket end %d, want 30", c.ends[0])
+	}
+	if res.Access != 27 { // 30 - 3
+		t.Fatalf("Access = %d, want 27", res.Access)
+	}
+	if res.Tuning != 20 {
+		t.Fatalf("Tuning = %d, want 20", res.Tuning)
+	}
+	if !res.Found || res.Probes != 1 {
+		t.Fatalf("Found=%v Probes=%d", res.Found, res.Probes)
+	}
+}
+
+func TestWalkNextReadsConsecutive(t *testing.T) {
+	ch := testChannel(t, 10, 20, 30)
+	c := &scriptClient{steps: []Step{Next(), Next(), Done(false)}}
+	res, err := Walk(ch, c, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.seen) != 3 || c.seen[0] != 0 || c.seen[1] != 1 || c.seen[2] != 2 {
+		t.Fatalf("client saw %v, want [0 1 2]", c.seen)
+	}
+	if res.Tuning != 60 || res.Access != 60 || res.Found {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestWalkNextWrapsCycle(t *testing.T) {
+	ch := testChannel(t, 10, 20, 30)
+	c := &scriptClient{steps: []Step{Next(), Done(true)}}
+	// Arrive mid bucket 2: first complete bucket is bucket 0 of next cycle.
+	res, err := Walk(ch, c, 35, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.seen[0] != 0 || c.seen[1] != 1 {
+		t.Fatalf("client saw %v, want [0 1]", c.seen)
+	}
+	// Bucket 0 of cycle 2 spans [60,70), bucket 1 ends at 90.
+	if res.Access != 90-35 {
+		t.Fatalf("Access = %d, want 55", res.Access)
+	}
+	if res.Tuning != 30 {
+		t.Fatalf("Tuning = %d, want 30", res.Tuning)
+	}
+}
+
+func TestWalkDozeSkipsTuning(t *testing.T) {
+	ch := testChannel(t, 10, 20, 30)
+	// Read bucket 0 (ends 10), doze to bucket 2 (starts 30, ends 60).
+	c := &scriptClient{steps: []Step{Doze(30), Done(true)}}
+	res, err := Walk(ch, c, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuning != 40 { // 10 + 30, bucket 1 skipped
+		t.Fatalf("Tuning = %d, want 40", res.Tuning)
+	}
+	if res.Access != 60 {
+		t.Fatalf("Access = %d, want 60", res.Access)
+	}
+}
+
+func TestWalkDozeMidBucketWaitsForBoundary(t *testing.T) {
+	ch := testChannel(t, 10, 20, 30)
+	// Doze target 15 lands mid bucket 1; the next complete bucket is 2.
+	c := &scriptClient{steps: []Step{Doze(15), Done(true)}}
+	res, err := Walk(ch, c, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.seen[1]; got != 2 {
+		t.Fatalf("after doze client read bucket %d, want 2", got)
+	}
+	if res.Tuning != 40 {
+		t.Fatalf("Tuning = %d, want 40", res.Tuning)
+	}
+}
+
+func TestWalkRejectsPastDoze(t *testing.T) {
+	ch := testChannel(t, 10, 20, 30)
+	c := &scriptClient{steps: []Step{Doze(5)}} // bucket 0 ends at 10 > 5
+	if _, err := Walk(ch, c, 0, 0); err == nil || !strings.Contains(err.Error(), "past") {
+		t.Fatalf("err = %v, want doze-into-past error", err)
+	}
+}
+
+func TestWalkStepBudget(t *testing.T) {
+	ch := testChannel(t, 10)
+	c := clientFunc(func(int, sim.Time) Step { return Next() })
+	if _, err := Walk(ch, c, 0, 100); err == nil {
+		t.Fatal("non-terminating client should exceed step budget")
+	}
+}
+
+func TestWalkInvalidStepKind(t *testing.T) {
+	ch := testChannel(t, 10)
+	c := clientFunc(func(int, sim.Time) Step { return Step{} })
+	if _, err := Walk(ch, c, 0, 0); err == nil {
+		t.Fatal("zero step kind should error")
+	}
+}
+
+type clientFunc func(int, sim.Time) Step
+
+func (f clientFunc) OnBucket(i int, end sim.Time) Step { return f(i, end) }
+
+func TestWalkArrivalExactlyAtBoundary(t *testing.T) {
+	ch := testChannel(t, 10, 20, 30)
+	c := &scriptClient{steps: []Step{Done(true)}}
+	res, err := Walk(ch, c, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.seen[0] != 1 || res.Access != 20 {
+		t.Fatalf("seen=%v access=%d, want bucket 1, access 20", c.seen, res.Access)
+	}
+}

@@ -1,0 +1,73 @@
+package access
+
+import (
+	"fmt"
+
+	"github.com/airindex/airindex/internal/channel"
+	"github.com/airindex/airindex/internal/sim"
+)
+
+// FaultyResult extends Result with error-recovery accounting.
+type FaultyResult struct {
+	Result
+	// Restarts counts protocol restarts forced by corrupted buckets.
+	Restarts int
+}
+
+// WalkFaulty is Walk on an error-prone channel (the extension motivated by
+// the paper's reference [9]): every bucket read is corrupted independently
+// with probability ber. A client cannot interpret a corrupted bucket, so
+// it discards its protocol state and restarts the search from the current
+// position — the simplest recovery strategy, which still pays for the
+// corrupted read in both tuning and access time. newClient must return a
+// fresh protocol state machine per restart; rnd draws uniform [0,1)
+// values.
+func WalkFaulty(ch *channel.Channel, newClient func() Client, arrival sim.Time, ber float64, rnd func() float64, maxSteps int) (FaultyResult, error) {
+	if ber < 0 || ber >= 1 {
+		return FaultyResult{}, fmt.Errorf("access: bit error rate %v outside [0,1)", ber)
+	}
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	var res FaultyResult
+	c := newClient()
+	idx, start := ch.NextBucketAt(arrival)
+	for step := 0; step < maxSteps; step++ {
+		end := ch.EndGiven(idx, start)
+		res.Tuning += ch.SizeOf(idx)
+		res.Probes++
+		if ber > 0 && rnd() < ber {
+			// Corrupted: the read is wasted; restart the protocol at the
+			// next complete bucket.
+			res.Restarts++
+			c = newClient()
+			idx, start = ch.NextBucketAt(end)
+			continue
+		}
+		s := c.OnBucket(idx, end)
+		switch s.Kind {
+		case StepNext:
+			idx++
+			if idx == ch.NumBuckets() {
+				idx = 0
+			}
+			start = end
+		case StepDoze:
+			if s.At < end {
+				return res, fmt.Errorf("access: client dozed into the past: %d < %d", s.At, end)
+			}
+			if s.Hint >= 0 && s.Hint < ch.NumBuckets() && int64(s.At)%ch.CycleLen() == ch.StartInCycle(s.Hint) {
+				idx, start = s.Hint, s.At
+			} else {
+				idx, start = ch.NextBucketAt(s.At)
+			}
+		case StepDone:
+			res.Access = int64(end - arrival)
+			res.Found = s.Found
+			return res, nil
+		default:
+			return res, fmt.Errorf("access: invalid step kind %d", s.Kind)
+		}
+	}
+	return res, fmt.Errorf("access: faulty query exceeded %d steps without terminating", maxSteps)
+}

@@ -1,0 +1,72 @@
+package access
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/airindex/airindex/internal/sim"
+)
+
+func TestWalkFaultyZeroBERMatchesWalk(t *testing.T) {
+	ch := testChannel(t, 10, 20, 30)
+	mk := func() Client {
+		return &scriptClient{steps: []Step{Next(), Next(), Done(true)}}
+	}
+	plain, err := Walk(ch, mk(), 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := WalkFaulty(ch, mk, 5, 0, func() float64 { return 1 }, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Result != plain || faulty.Restarts != 0 {
+		t.Fatalf("faulty %+v != plain %+v", faulty, plain)
+	}
+}
+
+func TestWalkFaultyRestartsOnCorruption(t *testing.T) {
+	ch := testChannel(t, 10, 10, 10)
+	calls := 0
+	mk := func() Client {
+		calls++
+		return clientFunc(func(int, sim.Time) Step { return Done(true) })
+	}
+	// First read corrupted, second clean.
+	draws := []float64{0.0, 0.99}
+	i := 0
+	rnd := func() float64 { v := draws[i]; i++; return v }
+	res, err := WalkFaulty(ch, mk, 0, 0.5, rnd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts != 1 {
+		t.Fatalf("Restarts = %d, want 1", res.Restarts)
+	}
+	if calls != 2 {
+		t.Fatalf("client constructed %d times, want 2", calls)
+	}
+	if res.Probes != 2 || res.Tuning != 20 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestWalkFaultyAlwaysCorruptExhaustsBudget(t *testing.T) {
+	ch := testChannel(t, 10)
+	mk := func() Client {
+		return clientFunc(func(int, sim.Time) Step { return Done(true) })
+	}
+	if _, err := WalkFaulty(ch, mk, 0, 0.9, func() float64 { return 0 }, 50); err == nil {
+		t.Fatal("all-corrupt channel should exhaust the step budget")
+	}
+}
+
+func TestWalkFaultyInvalidBER(t *testing.T) {
+	ch := testChannel(t, 10)
+	mk := func() Client { return clientFunc(func(int, sim.Time) Step { return Done(true) }) }
+	for _, ber := range []float64{-0.1, 1.0, 2.0} {
+		if _, err := WalkFaulty(ch, mk, 0, ber, rand.Float64, 0); err == nil {
+			t.Fatalf("BER %v accepted", ber)
+		}
+	}
+}

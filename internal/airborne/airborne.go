@@ -1,0 +1,97 @@
+// Package airborne implements receiver-side clients that operate on the
+// encoded broadcast alone: every protocol decision is computed from the
+// bytes of the buckets they read — header sequence numbers, control parts,
+// time-offset deltas — plus the published service contract (bucket
+// geometry, hash function, signature parameters). Nothing references the
+// server's in-memory structures.
+//
+// The scheme packages' own clients consult build-time metadata, which is
+// faster for large simulation campaigns; the airborne clients exist to
+// prove the broadcast formats are genuinely self-describing. The
+// differential tests in this package drive both client families over the
+// same channels and compare outcomes.
+package airborne
+
+import (
+	"fmt"
+
+	"github.com/airindex/airindex/internal/access"
+	"github.com/airindex/airindex/internal/channel"
+	"github.com/airindex/airindex/internal/datagen"
+	"github.com/airindex/airindex/internal/schemes/treeidx"
+	"github.com/airindex/airindex/internal/wire"
+)
+
+// Contract is the service contract a mobile client is assumed to know
+// before tuning in: the data geometry and the scheme's published
+// parameters. Everything else comes off the air.
+type Contract struct {
+	// RecordSize and KeySize fix the data bucket geometry, and NumRecords
+	// is the announced database size (used by the serial protocols to
+	// conclude a search failed after one full pass).
+	RecordSize, KeySize, NumRecords int
+
+	// TreeLayout is the index bucket geometry for the tree schemes.
+	TreeLayout treeidx.Layout
+
+	// HashPositions is Na, the hashing scheme's published directory size
+	// (the paper broadcasts the hashing function in every control part).
+	HashPositions int
+
+	// SigBytes and BitsPerField parameterize the signature scheme.
+	SigBytes, BitsPerField int
+}
+
+// Bytes provides the encoded form of broadcast buckets, memoized so
+// differential sweeps do not re-encode per probe.
+type Bytes struct {
+	ch    *channel.Channel
+	cache [][]byte
+}
+
+// NewBytes wraps a channel with an encode cache.
+func NewBytes(ch *channel.Channel) *Bytes {
+	return &Bytes{ch: ch, cache: make([][]byte, ch.NumBuckets())}
+}
+
+// Of returns bucket i's encoded bytes.
+func (e *Bytes) Of(i int) []byte {
+	if e.cache[i] == nil {
+		e.cache[i] = e.ch.Bucket(i).Encode()
+	}
+	return e.cache[i]
+}
+
+// NumBuckets returns the cycle's bucket count.
+func (e *Bytes) NumBuckets() int { return e.ch.NumBuckets() }
+
+// NewClient returns a byte-driven client for the named paper scheme. The
+// supported names are flat, (1,m), distributed, hashing and signature.
+func NewClient(scheme string, bytes *Bytes, c Contract, key uint64) (access.Client, error) {
+	switch scheme {
+	case "flat":
+		return newFlatClient(bytes, c, key), nil
+	case "(1,m)", "distributed":
+		return newTreeClient(bytes, c, key), nil
+	case "hashing":
+		return newHashClient(bytes, c, key), nil
+	case "signature":
+		return newSigClient(bytes, c, key), nil
+	default:
+		return nil, fmt.Errorf("airborne: no byte-driven client for scheme %q", scheme)
+	}
+}
+
+// decodeKeyAt parses a fixed-width key field at the given offset.
+func decodeKeyAt(p []byte, off, width int) (uint64, error) {
+	if off+width > len(p) {
+		return 0, fmt.Errorf("airborne: bucket too short for key at %d", off)
+	}
+	return datagen.DecodeKey(p[off : off+width])
+}
+
+// header decodes the common bucket prefix.
+func header(p []byte) wire.Header {
+	r := wire.NewReader(p)
+	return r.Header()
+}

@@ -1,0 +1,186 @@
+// Package analytical implements the paper's closed-form access-time and
+// tuning-time models (§2) for every evaluated scheme. The experiment
+// harness overlays these curves on the simulation results exactly as the
+// paper's figures plot "(A)" analytical against "(S)" simulated series.
+//
+// Results are expressed in Dt units — the broadcast time of one bucket —
+// except for signature indexing, whose two bucket sizes (Dt for data, It
+// for signatures) appear explicitly, and are converted to bytes by the
+// caller using the scheme's real bucket sizes. The formulas assume full
+// index trees (n^k ~= Nr), as the paper's do; the simulation uses real
+// trees, which is the source of the small constant offsets discussed in
+// EXPERIMENTS.md.
+package analytical
+
+import "math"
+
+// Flat broadcast (§4.2): no index, expected access and tuning are both
+// about half the broadcast cycle of Nr data buckets.
+
+// FlatAccess returns flat-broadcast access time in Dt units.
+func FlatAccess(nr int) float64 { return (float64(nr) + 1) / 2 }
+
+// FlatTuning returns flat-broadcast tuning time in Dt units.
+func FlatTuning(nr int) float64 { return (float64(nr) + 1) / 2 }
+
+// TreeParams carries the B+-tree geometry shared by the paper's index-tree
+// formulas.
+type TreeParams struct {
+	// Fanout is n, indices per bucket.
+	Fanout int
+	// Levels is k, the number of index-tree levels. The paper treats k =
+	// log_n(Nr) as a real number (a full-tree idealization: n^k == Nr);
+	// LevelsFor computes it. Integer tree depths from a real build also
+	// work but overestimate n^k badly for partially filled trees.
+	Levels float64
+	// Replicated is r, the number of replicated levels (distributed
+	// indexing only).
+	Replicated int
+	// Records is Nr.
+	Records int
+}
+
+// DistIndexBuckets returns the paper's count of index buckets per cycle
+// for distributed indexing: n*(n^r - 1)/(n-1) replicated occurrences plus
+// (n^k - n^r)/(n-1) non-replicated buckets.
+func DistIndexBuckets(p TreeParams) float64 {
+	n := float64(p.Fanout)
+	r := float64(p.Replicated)
+	return (math.Pow(n, r+1) + math.Pow(n, p.Levels) - math.Pow(n, r) - n) / (n - 1)
+}
+
+// DistCycleBuckets returns N, the total buckets per distributed-indexing
+// cycle.
+func DistCycleBuckets(p TreeParams) float64 {
+	return DistIndexBuckets(p) + float64(p.Records)
+}
+
+// DistInitialProbe returns Pt, the expected time to reach the first index
+// segment, in Dt units (§2.1): half the average index-plus-data segment
+// pair length.
+func DistInitialProbe(p TreeParams) float64 {
+	n := float64(p.Fanout)
+	r := float64(p.Replicated)
+	k := p.Levels
+	nr := float64(p.Records)
+	idxSeg := (math.Pow(n, k-r)-1)/(n-1) + (math.Pow(n, r+1)-n)/(math.Pow(n, r+1)-math.Pow(n, r))
+	dataSeg := nr / math.Pow(n, r)
+	return (idxSeg + dataSeg) / 2
+}
+
+// DistAccess returns distributed-indexing access time in Dt units:
+// At = Ft + Pt + Wt (§2.1).
+func DistAccess(p TreeParams) float64 {
+	return 0.5 + DistInitialProbe(p) + DistCycleBuckets(p)/2
+}
+
+// DistTuning returns distributed-indexing tuning time in Dt units, the
+// paper's Tt = (k + 3/2)·Dt.
+func DistTuning(p TreeParams) float64 { return p.Levels + 1.5 }
+
+// OneMTreeBuckets returns the bucket count of one full index-tree copy,
+// (n^k - 1)/(n - 1), assuming a full tree.
+func OneMTreeBuckets(p TreeParams) float64 {
+	n := float64(p.Fanout)
+	return (math.Pow(n, p.Levels) - 1) / (n - 1)
+}
+
+// OneMCycleBuckets returns N for (1,m) indexing with m tree copies.
+func OneMCycleBuckets(p TreeParams, m int) float64 {
+	return float64(p.Records) + float64(m)*OneMTreeBuckets(p)
+}
+
+// OneMAccess returns (1,m)-indexing access time in Dt units: initial wait,
+// half an index-plus-data segment period to reach the next tree copy, and
+// half the cycle.
+func OneMAccess(p TreeParams, m int) float64 {
+	t := OneMTreeBuckets(p)
+	probe := (float64(p.Records)/float64(m) + t) / 2
+	return 0.5 + probe + OneMCycleBuckets(p, m)/2
+}
+
+// OneMTuning returns (1,m)-indexing tuning time in Dt units: initial wait,
+// the first probed bucket, k index levels, and the data bucket.
+func OneMTuning(p TreeParams) float64 { return p.Levels + 2.5 }
+
+// OneMOptimal returns the access-optimal m for the paper's model,
+// sqrt(Nr / treeBuckets) rounded to the better neighbour.
+func OneMOptimal(p TreeParams) int {
+	t := OneMTreeBuckets(p)
+	if t <= 0 {
+		return 1
+	}
+	mf := math.Sqrt(float64(p.Records) / t)
+	lo := int(math.Floor(mf))
+	if lo < 1 {
+		lo = 1
+	}
+	if OneMAccess(p, lo) <= OneMAccess(p, lo+1) {
+		return lo
+	}
+	return lo + 1
+}
+
+// HashParams carries the simple-hashing geometry.
+type HashParams struct {
+	// Allocated is Na, the initially allocated buckets.
+	Allocated float64
+	// Colliding is Nc, the colliding (shifted) buckets.
+	Colliding float64
+	// Records is Nr.
+	Records float64
+}
+
+// CycleBuckets returns N = Na + Nc.
+func (p HashParams) CycleBuckets() float64 { return p.Allocated + p.Colliding }
+
+// HashingAccess returns simple-hashing access time in Dt units (§2.2):
+// Ft + Ht + St + Ct + Dt with Ht = N/2, St = Nc/2, Ct = Nc/Nr.
+func HashingAccess(p HashParams) float64 {
+	n := p.CycleBuckets()
+	return 0.5 + n/2 + p.Colliding/2 + p.Colliding/p.Records + 1
+}
+
+// HashingTuning returns simple-hashing tuning time in Dt units (§2.2).
+func HashingTuning(p HashParams) float64 {
+	extra := (p.Colliding + p.Records/2) / (p.Colliding + p.Records)
+	return 0.5 + extra + p.Colliding/p.Records + 3
+}
+
+// LevelsFor returns the paper's real-valued tree depth k = log_n(Nr).
+func LevelsFor(fanout, records int) float64 {
+	return math.Log(float64(records)) / math.Log(float64(fanout))
+}
+
+// SignatureAccess returns simple-signature access time in BYTES given the
+// real data and signature bucket byte sizes (§2.3):
+// At = (Dt + It)(Nr + 1)/2.
+func SignatureAccess(nr int, dataBytes, sigBytes float64) float64 {
+	return (dataBytes + sigBytes) * (float64(nr) + 1) / 2
+}
+
+// SignatureTuning returns simple-signature tuning time in BYTES:
+// Tt = (Nr + 1)/2 · It + (Fd + 1/2) · Dt, with Fd the expected number of
+// false drops per query.
+func SignatureTuning(nr int, dataBytes, sigBytes, falseDrops float64) float64 {
+	return (float64(nr)+1)/2*sigBytes + (falseDrops+0.5)*dataBytes
+}
+
+// SignatureFalseDropProb estimates the probability that one non-matching
+// record signature covers a weight-w query signature, for L signature
+// bytes, w bits per field and f fields superimposed per record: each query
+// bit is covered independently with probability equal to the record
+// signature's fill factor.
+func SignatureFalseDropProb(sigBytes, bitsPerField, fields int) float64 {
+	bits := float64(sigBytes * 8)
+	// Expected fraction of bits set in a record signature after
+	// superimposing fields*bitsPerField draws with replacement.
+	fill := 1 - math.Pow(1-1/bits, float64(fields*bitsPerField))
+	return math.Pow(fill, float64(bitsPerField))
+}
+
+// SignatureExpectedFalseDrops returns Fd for a query that scans about half
+// the cycle before reaching its record.
+func SignatureExpectedFalseDrops(nr, sigBytes, bitsPerField, fields int) float64 {
+	return float64(nr) / 2 * SignatureFalseDropProb(sigBytes, bitsPerField, fields)
+}

@@ -1,0 +1,196 @@
+package analytical
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFlat(t *testing.T) {
+	if FlatAccess(999) != 500 || FlatTuning(999) != 500 {
+		t.Fatal("flat formulas wrong")
+	}
+	if FlatAccess(0) != 0.5 {
+		t.Fatal("flat edge wrong")
+	}
+}
+
+func TestDistIndexBucketsPaperExample(t *testing.T) {
+	// Figure 1: n=3, k=4, r=2. Replicated occurrences: 3 (root) + 9
+	// (a-nodes) = 12; non-replicated: 9 + 27 = 36. Total 48.
+	p := TreeParams{Fanout: 3, Levels: 4, Replicated: 2, Records: 81}
+	if got := DistIndexBuckets(p); math.Abs(got-48) > 1e-9 {
+		t.Fatalf("DistIndexBuckets = %v, want 48", got)
+	}
+	if got := DistCycleBuckets(p); math.Abs(got-129) > 1e-9 {
+		t.Fatalf("DistCycleBuckets = %v, want 129", got)
+	}
+}
+
+func TestDistAccessComponents(t *testing.T) {
+	p := TreeParams{Fanout: 3, Levels: 4, Replicated: 2, Records: 81}
+	// Index segment average: (n^{k-r}-1)/(n-1) + (n^{r+1}-n)/(n^{r+1}-n^r)
+	// = (9-1)/2 + (27-3)/(27-9) = 4 + 4/3.
+	// Data segment average: 81/9 = 9.
+	wantProbe := (4 + 4.0/3 + 9) / 2
+	if got := DistInitialProbe(p); math.Abs(got-wantProbe) > 1e-9 {
+		t.Fatalf("DistInitialProbe = %v, want %v", got, wantProbe)
+	}
+	wantAccess := 0.5 + wantProbe + 129.0/2
+	if got := DistAccess(p); math.Abs(got-wantAccess) > 1e-9 {
+		t.Fatalf("DistAccess = %v, want %v", got, wantAccess)
+	}
+	if got := DistTuning(p); got != 5.5 {
+		t.Fatalf("DistTuning = %v, want 5.5", got)
+	}
+}
+
+func TestDistAccessDecreasesThenIncreasesInR(t *testing.T) {
+	// Replication trades probe time against cycle growth; the paper's
+	// optimal r is interior for big trees.
+	p := TreeParams{Fanout: 10, Levels: 5, Records: 100000}
+	var costs []float64
+	for r := 0; r < int(p.Levels); r++ {
+		p.Replicated = r
+		costs = append(costs, DistAccess(p))
+	}
+	best := 0
+	for i, c := range costs {
+		if c < costs[best] {
+			best = i
+		}
+	}
+	if best == 0 || best == len(costs)-1 {
+		t.Fatalf("optimal r should be interior, costs %v", costs)
+	}
+}
+
+func TestOneMFormulas(t *testing.T) {
+	p := TreeParams{Fanout: 3, Levels: 4, Records: 81}
+	if got := OneMTreeBuckets(p); math.Abs(got-40) > 1e-9 {
+		t.Fatalf("OneMTreeBuckets = %v, want 40", got)
+	}
+	if got := OneMCycleBuckets(p, 2); math.Abs(got-161) > 1e-9 {
+		t.Fatalf("OneMCycleBuckets = %v, want 161", got)
+	}
+	if got := OneMTuning(p); got != 6.5 {
+		t.Fatalf("OneMTuning = %v, want 6.5", got)
+	}
+}
+
+func TestOneMOptimalIsLocalMinimum(t *testing.T) {
+	for _, p := range []TreeParams{
+		{Fanout: 12, Levels: 4, Records: 17500},
+		{Fanout: 3, Levels: 9, Records: 35000},
+		{Fanout: 26, Levels: 3, Records: 7000},
+	} {
+		m := OneMOptimal(p)
+		if m < 1 {
+			t.Fatalf("OneMOptimal = %d", m)
+		}
+		if m > 1 && OneMAccess(p, m-1) < OneMAccess(p, m) {
+			t.Fatalf("m-1 beats claimed optimum %d for %+v", m, p)
+		}
+		if OneMAccess(p, m+1) < OneMAccess(p, m) {
+			t.Fatalf("m+1 beats claimed optimum %d for %+v", m, p)
+		}
+	}
+}
+
+func TestHashingFormulas(t *testing.T) {
+	// Nr=6000 at load factor 3: Na=2000, Nc=4000, N=6000.
+	p := HashParams{Allocated: 2000, Colliding: 4000, Records: 6000}
+	if p.CycleBuckets() != 6000 {
+		t.Fatal("N wrong")
+	}
+	// At = 0.5 + 3000 + 2000 + 2/3 + 1.
+	want := 0.5 + 3000 + 2000 + 2.0/3 + 1
+	if got := HashingAccess(p); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("HashingAccess = %v, want %v", got, want)
+	}
+	// Tt = 0.5 + (4000+3000)/10000 + 2/3 + 3 — a handful of buckets.
+	tt := HashingTuning(p)
+	if tt < 4 || tt > 5.5 {
+		t.Fatalf("HashingTuning = %v, want ~4-5 buckets", tt)
+	}
+}
+
+func TestHashingNoCollisions(t *testing.T) {
+	p := HashParams{Allocated: 1000, Colliding: 0, Records: 1000}
+	// With no collisions access is about half the cycle plus constants.
+	if got := HashingAccess(p); math.Abs(got-(0.5+500+0+0+1)) > 1e-9 {
+		t.Fatalf("HashingAccess = %v", got)
+	}
+	if got := HashingTuning(p); got != 4 {
+		t.Fatalf("HashingTuning = %v, want 4", got)
+	}
+}
+
+func TestHashingTuningFlatInRecords(t *testing.T) {
+	// With a fixed load factor the tuning time is independent of Nr —
+	// the flat line of Figure 4(b).
+	tt := func(nr float64) float64 {
+		return HashingTuning(HashParams{Allocated: nr / 3, Colliding: nr * 2 / 3, Records: nr})
+	}
+	if math.Abs(tt(7000)-tt(34000)) > 1e-9 {
+		t.Fatal("hashing tuning should not depend on record count at fixed load")
+	}
+}
+
+func TestSignatureFormulas(t *testing.T) {
+	// Dt=505, It=21, Nr=999.
+	if got := SignatureAccess(999, 505, 21); got != (505.0+21)*500 {
+		t.Fatalf("SignatureAccess = %v", got)
+	}
+	want := 500*21.0 + (3+0.5)*505
+	if got := SignatureTuning(999, 505, 21, 3); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SignatureTuning = %v, want %v", got, want)
+	}
+}
+
+func TestFalseDropProbBehaviour(t *testing.T) {
+	// Longer signatures mean fewer false drops.
+	p8 := SignatureFalseDropProb(8, 8, 5)
+	p32 := SignatureFalseDropProb(32, 8, 5)
+	if p32 >= p8 {
+		t.Fatalf("false drop prob should fall with length: %v vs %v", p8, p32)
+	}
+	if p8 <= 0 || p8 >= 1 {
+		t.Fatalf("prob out of range: %v", p8)
+	}
+	// More superimposed fields mean more false drops.
+	few := SignatureFalseDropProb(16, 8, 2)
+	many := SignatureFalseDropProb(16, 8, 10)
+	if many <= few {
+		t.Fatalf("false drop prob should rise with fields: %v vs %v", few, many)
+	}
+	// Expected drops scale with Nr.
+	a := SignatureExpectedFalseDrops(1000, 4, 8, 5)
+	b := SignatureExpectedFalseDrops(2000, 4, 8, 5)
+	if math.Abs(b-2*a) > 1e-9 {
+		t.Fatal("expected false drops should be linear in Nr")
+	}
+}
+
+func TestOrderingMatchesFigure4(t *testing.T) {
+	// At the paper's default geometry the analytical models must reproduce
+	// Figure 4's qualitative ordering.
+	nr := 20000
+	dataBytes := 505.0
+	flatA := FlatAccess(nr) * dataBytes
+	sigA := SignatureAccess(nr, 505, 21)
+	tp := TreeParams{Fanout: 12, Levels: 4, Replicated: 2, Records: nr}
+	distA := DistAccess(tp) * 513
+	hp := HashParams{Allocated: float64(nr) / 3, Colliding: float64(nr) * 2 / 3, Records: float64(nr)}
+	hashA := HashingAccess(hp) * 518
+	if !(flatA < sigA && sigA < distA && distA < hashA) {
+		t.Fatalf("access ordering broken: flat=%v sig=%v dist=%v hash=%v", flatA, sigA, distA, hashA)
+	}
+	// Tuning: hashing < distributed < signature < flat.
+	hashT := HashingTuning(hp) * 518
+	distT := DistTuning(tp) * 513
+	sigT := SignatureTuning(nr, 505, 21, SignatureExpectedFalseDrops(nr, 16, 8, 5)) // 16-byte sigs
+	flatT := FlatTuning(nr) * dataBytes
+	if !(hashT < distT && distT < sigT && sigT < flatT) {
+		t.Fatalf("tuning ordering broken: hash=%v dist=%v sig=%v flat=%v", hashT, distT, sigT, flatT)
+	}
+}

@@ -1,0 +1,155 @@
+// Package channel models the cyclic wireless broadcast channel.
+//
+// A channel is a fixed sequence of buckets broadcast over and over (the
+// paper's "broadcast cycle"). Positions are byte offsets and the server
+// transmits one byte per virtual time unit, so the channel provides the
+// arithmetic every access protocol needs: which bucket is in flight at a
+// given time, when the next complete bucket begins (the paper's "initial
+// wait"), and when a specific bucket will next be broadcast (the target of
+// a doze-mode offset pointer).
+package channel
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/wire"
+)
+
+// Bucket is one broadcast unit. Implementations live in the scheme
+// packages; the channel only needs sizes and kinds. Encode must produce
+// exactly Size bytes — scheme tests assert this so simulated timings match
+// real on-air bytes.
+type Bucket interface {
+	// Size is the encoded byte length of the bucket.
+	Size() int
+	// Kind reports the bucket's role.
+	Kind() wire.Kind
+	// Encode serializes the bucket to its wire form.
+	Encode() []byte
+}
+
+// Channel is an immutable broadcast cycle.
+type Channel struct {
+	buckets []Bucket
+	starts  []int64 // starts[i] = byte offset of bucket i within the cycle
+	cycle   int64
+}
+
+// Build assembles a channel from a bucket sequence.
+func Build(buckets []Bucket) (*Channel, error) {
+	if len(buckets) == 0 {
+		return nil, fmt.Errorf("channel: empty bucket sequence")
+	}
+	starts := make([]int64, len(buckets))
+	var off int64
+	for i, b := range buckets {
+		if b == nil {
+			return nil, fmt.Errorf("channel: nil bucket at %d", i)
+		}
+		if b.Size() <= 0 {
+			return nil, fmt.Errorf("channel: bucket %d has nonpositive size %d", i, b.Size())
+		}
+		starts[i] = off
+		off += int64(b.Size())
+	}
+	return &Channel{buckets: buckets, starts: starts, cycle: off}, nil
+}
+
+// MustBuild is Build for statically correct sequences; it panics on error.
+func MustBuild(buckets []Bucket) *Channel {
+	c, err := Build(buckets)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NumBuckets returns the number of buckets per cycle.
+func (c *Channel) NumBuckets() int { return len(c.buckets) }
+
+// Bucket returns the i-th bucket of the cycle.
+func (c *Channel) Bucket(i int) Bucket { return c.buckets[i] }
+
+// CycleLen returns the broadcast cycle length in bytes.
+func (c *Channel) CycleLen() int64 { return c.cycle }
+
+// StartInCycle returns bucket i's byte offset within the cycle.
+func (c *Channel) StartInCycle(i int) int64 { return c.starts[i] }
+
+// SizeOf returns bucket i's byte size.
+func (c *Channel) SizeOf(i int) int64 { return int64(c.buckets[i].Size()) }
+
+// NextBucketAt returns the index and absolute start time of the first
+// bucket whose broadcast begins at or after time t. A client tuning in
+// mid-bucket must wait for this boundary — the paper's initial wait.
+func (c *Channel) NextBucketAt(t sim.Time) (int, sim.Time) {
+	base := (int64(t) / c.cycle) * c.cycle
+	off := int64(t) - base
+	i := sort.Search(len(c.starts), func(i int) bool { return c.starts[i] >= off })
+	if i == len(c.starts) {
+		return 0, sim.Time(base + c.cycle)
+	}
+	return i, sim.Time(base + c.starts[i])
+}
+
+// InFlightAt returns the index of the bucket being transmitted at time t
+// and its absolute start time.
+func (c *Channel) InFlightAt(t sim.Time) (int, sim.Time) {
+	base := (int64(t) / c.cycle) * c.cycle
+	off := int64(t) - base
+	// First start strictly greater than off, minus one, is the bucket
+	// containing off.
+	i := sort.Search(len(c.starts), func(i int) bool { return c.starts[i] > off })
+	return i - 1, sim.Time(base + c.starts[i-1])
+}
+
+// NextOccurrence returns the absolute start time of the next broadcast of
+// bucket i beginning at or after time t.
+func (c *Channel) NextOccurrence(i int, t sim.Time) sim.Time {
+	base := (int64(t) / c.cycle) * c.cycle
+	cand := base + c.starts[i]
+	if cand < int64(t) {
+		cand += c.cycle
+	}
+	return sim.Time(cand)
+}
+
+// EndGiven returns the absolute finish time of bucket i when its broadcast
+// starts at the given time.
+func (c *Channel) EndGiven(i int, start sim.Time) sim.Time {
+	return start + sim.Time(c.buckets[i].Size())
+}
+
+// NextCycleStart returns the absolute time at which the next cycle begins
+// at or after t.
+func (c *Channel) NextCycleStart(t sim.Time) sim.Time {
+	base := (int64(t) / c.cycle) * c.cycle
+	if base == int64(t) {
+		return t
+	}
+	return sim.Time(base + c.cycle)
+}
+
+// CountKind returns how many buckets of the given kind the cycle carries.
+func (c *Channel) CountKind(k wire.Kind) int {
+	n := 0
+	for _, b := range c.buckets {
+		if b.Kind() == k {
+			n++
+		}
+	}
+	return n
+}
+
+// BytesOfKind returns the total bytes per cycle used by buckets of kind k.
+func (c *Channel) BytesOfKind(k wire.Kind) int64 {
+	var n int64
+	for _, b := range c.buckets {
+		if b.Kind() == k {
+			n += int64(b.Size())
+		}
+	}
+	return n
+}

@@ -1,0 +1,229 @@
+package channel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/wire"
+)
+
+// fakeBucket is a minimal Bucket for channel arithmetic tests.
+type fakeBucket struct {
+	size int
+	kind wire.Kind
+}
+
+func (b fakeBucket) Size() int       { return b.size }
+func (b fakeBucket) Kind() wire.Kind { return b.kind }
+func (b fakeBucket) Encode() []byte  { return make([]byte, b.size) }
+
+func buildTest(t *testing.T, sizes ...int) *Channel {
+	t.Helper()
+	bs := make([]Bucket, len(sizes))
+	for i, s := range sizes {
+		bs[i] = fakeBucket{size: s, kind: wire.KindData}
+	}
+	c, err := Build(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBuildOffsets(t *testing.T) {
+	c := buildTest(t, 10, 20, 30)
+	if c.CycleLen() != 60 {
+		t.Fatalf("cycle %d, want 60", c.CycleLen())
+	}
+	wantStarts := []int64{0, 10, 30}
+	for i, w := range wantStarts {
+		if c.StartInCycle(i) != w {
+			t.Fatalf("start[%d] = %d, want %d", i, c.StartInCycle(i), w)
+		}
+	}
+	if c.NumBuckets() != 3 {
+		t.Fatalf("NumBuckets = %d", c.NumBuckets())
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Fatal("empty channel accepted")
+	}
+	if _, err := Build([]Bucket{fakeBucket{size: 0}}); err == nil {
+		t.Fatal("zero-size bucket accepted")
+	}
+	if _, err := Build([]Bucket{nil}); err == nil {
+		t.Fatal("nil bucket accepted")
+	}
+}
+
+func TestNextBucketAt(t *testing.T) {
+	c := buildTest(t, 10, 20, 30)
+	cases := []struct {
+		t         sim.Time
+		wantIdx   int
+		wantStart sim.Time
+	}{
+		{0, 0, 0},          // exactly at cycle start
+		{1, 1, 10},         // mid bucket 0: wait for bucket 1
+		{10, 1, 10},        // exactly at bucket 1 start
+		{29, 2, 30},        // just before bucket 2
+		{30, 2, 30},        // at bucket 2 start
+		{31, 0, 60},        // mid last bucket: wrap to next cycle
+		{59, 0, 60},        // end of cycle
+		{60, 0, 60},        // next cycle start
+		{61, 1, 70},        // second cycle, mid bucket 0
+		{60 + 45, 0, 120},  // second cycle, mid last bucket
+		{600, 0, 600},      // tenth cycle boundary
+		{615, 2, 600 + 30}, // tenth cycle, between buckets
+	}
+	for _, cse := range cases {
+		idx, start := c.NextBucketAt(cse.t)
+		if idx != cse.wantIdx || start != cse.wantStart {
+			t.Errorf("NextBucketAt(%d) = (%d, %d), want (%d, %d)", cse.t, idx, start, cse.wantIdx, cse.wantStart)
+		}
+	}
+}
+
+func TestInFlightAt(t *testing.T) {
+	c := buildTest(t, 10, 20, 30)
+	cases := []struct {
+		t         sim.Time
+		wantIdx   int
+		wantStart sim.Time
+	}{
+		{0, 0, 0},
+		{9, 0, 0},
+		{10, 1, 10},
+		{29, 1, 10},
+		{30, 2, 30},
+		{59, 2, 30},
+		{60, 0, 60},
+		{75, 1, 70},
+	}
+	for _, cse := range cases {
+		idx, start := c.InFlightAt(cse.t)
+		if idx != cse.wantIdx || start != cse.wantStart {
+			t.Errorf("InFlightAt(%d) = (%d, %d), want (%d, %d)", cse.t, idx, start, cse.wantIdx, cse.wantStart)
+		}
+	}
+}
+
+func TestNextOccurrence(t *testing.T) {
+	c := buildTest(t, 10, 20, 30)
+	if got := c.NextOccurrence(1, 0); got != 10 {
+		t.Fatalf("NextOccurrence(1, 0) = %d, want 10", got)
+	}
+	if got := c.NextOccurrence(1, 10); got != 10 {
+		t.Fatalf("NextOccurrence(1, 10) = %d, want 10 (inclusive)", got)
+	}
+	if got := c.NextOccurrence(1, 11); got != 70 {
+		t.Fatalf("NextOccurrence(1, 11) = %d, want 70", got)
+	}
+	if got := c.NextOccurrence(0, 35); got != 60 {
+		t.Fatalf("NextOccurrence(0, 35) = %d, want 60", got)
+	}
+}
+
+func TestNextCycleStart(t *testing.T) {
+	c := buildTest(t, 10, 20, 30)
+	for _, cse := range []struct{ t, want sim.Time }{
+		{0, 0}, {1, 60}, {59, 60}, {60, 60}, {61, 120}, {600, 600},
+	} {
+		if got := c.NextCycleStart(cse.t); got != cse.want {
+			t.Errorf("NextCycleStart(%d) = %d, want %d", cse.t, got, cse.want)
+		}
+	}
+}
+
+func TestEndGiven(t *testing.T) {
+	c := buildTest(t, 10, 20, 30)
+	if got := c.EndGiven(2, 630); got != 660 {
+		t.Fatalf("EndGiven = %d, want 660", got)
+	}
+}
+
+func TestKindAccounting(t *testing.T) {
+	bs := []Bucket{
+		fakeBucket{size: 8, kind: wire.KindIndex},
+		fakeBucket{size: 100, kind: wire.KindData},
+		fakeBucket{size: 8, kind: wire.KindIndex},
+		fakeBucket{size: 100, kind: wire.KindData},
+	}
+	c, err := Build(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CountKind(wire.KindIndex) != 2 || c.CountKind(wire.KindData) != 2 {
+		t.Fatal("CountKind wrong")
+	}
+	if c.BytesOfKind(wire.KindIndex) != 16 || c.BytesOfKind(wire.KindData) != 200 {
+		t.Fatal("BytesOfKind wrong")
+	}
+}
+
+// Property: for any bucket sizes and any time, NextBucketAt returns a
+// bucket boundary at or after t, no further than one full cycle away, and
+// the returned start is genuinely the start of the returned index.
+func TestQuickNextBucketAt(t *testing.T) {
+	f := func(rawSizes []uint8, rawT uint32) bool {
+		var bs []Bucket
+		for _, s := range rawSizes {
+			if s > 0 {
+				bs = append(bs, fakeBucket{size: int(s), kind: wire.KindData})
+			}
+		}
+		if len(bs) == 0 {
+			return true
+		}
+		c, err := Build(bs)
+		if err != nil {
+			return false
+		}
+		tm := sim.Time(rawT)
+		idx, start := c.NextBucketAt(tm)
+		if start < tm || int64(start-tm) > c.CycleLen() {
+			return false
+		}
+		return (int64(start) % c.CycleLen()) == c.StartInCycle(idx)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: InFlightAt(t) contains t within [start, start+size).
+func TestQuickInFlightAt(t *testing.T) {
+	f := func(rawSizes []uint8, rawT uint32) bool {
+		var bs []Bucket
+		for _, s := range rawSizes {
+			if s > 0 {
+				bs = append(bs, fakeBucket{size: int(s), kind: wire.KindData})
+			}
+		}
+		if len(bs) == 0 {
+			return true
+		}
+		c, err := Build(bs)
+		if err != nil {
+			return false
+		}
+		tm := sim.Time(rawT)
+		idx, start := c.InFlightAt(tm)
+		return start <= tm && tm < start+sim.Time(c.SizeOf(idx))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild on empty input did not panic")
+		}
+	}()
+	MustBuild(nil)
+}

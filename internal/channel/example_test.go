@@ -1,0 +1,35 @@
+package channel_test
+
+import (
+	"fmt"
+
+	"github.com/airindex/airindex/internal/channel"
+	"github.com/airindex/airindex/internal/wire"
+)
+
+type demoBucket struct {
+	size int
+}
+
+func (b demoBucket) Size() int       { return b.size }
+func (b demoBucket) Kind() wire.Kind { return wire.KindData }
+func (b demoBucket) Encode() []byte  { return make([]byte, b.size) }
+
+// A client tuning in mid-bucket waits for the next complete bucket — the
+// paper's "initial wait" — and doze targets wrap around the cycle.
+func Example() {
+	ch := channel.MustBuild([]channel.Bucket{
+		demoBucket{100}, demoBucket{50}, demoBucket{150},
+	})
+	fmt.Println("cycle:", ch.CycleLen(), "bytes in", ch.NumBuckets(), "buckets")
+
+	idx, start := ch.NextBucketAt(120) // mid bucket 1
+	fmt.Printf("tune in at t=120: first complete bucket is %d at t=%d\n", idx, start)
+
+	// Bucket 0 already passed; its next occurrence is in the next cycle.
+	fmt.Println("next occurrence of bucket 0:", ch.NextOccurrence(0, 120))
+	// Output:
+	// cycle: 300 bytes in 3 buckets
+	// tune in at t=120: first complete bucket is 2 at t=150
+	// next occurrence of bucket 0: 300
+}

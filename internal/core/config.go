@@ -1,0 +1,138 @@
+// Package core implements the paper's adaptive testbed (§3): the
+// Simulator that coordinates a run, the BroadcastServer that constructs
+// and cycles the channel, the RequestGenerator that injects queries with
+// exponentially distributed inter-arrival times, per-request processes,
+// the ResultHandler that accumulates access/tuning statistics, and the
+// AccuracyController that keeps the simulation running until the requested
+// confidence level and accuracy are met.
+//
+// The testbed is adaptive in the three ways the paper claims: new data
+// access methods plug in through the scheme registry (Register), different
+// application environments are a Config away (record counts, record/key
+// geometry, data availability, error rates), and new evaluation criteria
+// can be derived from the per-request Results the handler sees.
+package core
+
+import (
+	"fmt"
+
+	"github.com/airindex/airindex/internal/datagen"
+	"github.com/airindex/airindex/internal/schemes/bdisk"
+	"github.com/airindex/airindex/internal/schemes/dist"
+	"github.com/airindex/airindex/internal/schemes/hashing"
+	"github.com/airindex/airindex/internal/schemes/hybrid"
+	"github.com/airindex/airindex/internal/schemes/onem"
+	"github.com/airindex/airindex/internal/schemes/signature"
+)
+
+// Config describes one simulation run. The zero value is not valid; start
+// from DefaultConfig.
+type Config struct {
+	// Scheme is the registered access-method name.
+	Scheme string
+	// Data configures the synthetic dictionary database.
+	Data datagen.Config
+
+	// Availability is the probability that a generated request asks for a
+	// key that is actually broadcast (paper §5.1). 1 means every search
+	// succeeds.
+	Availability float64
+	// RequestMean is the mean of the exponential request inter-arrival
+	// time, in bytes of broadcast progress (paper §3: request generation
+	// "follows exponential distribution").
+	RequestMean float64
+
+	// RoundSize is the number of requests per accuracy-control round
+	// (paper §4.1: 500 per simulation round).
+	RoundSize int
+	// Confidence is the confidence level for the stopping rule (0.99).
+	Confidence float64
+	// Accuracy is the target confidence accuracy H/Y (0.01).
+	Accuracy float64
+	// MinRequests keeps the run going even after convergence.
+	MinRequests int
+	// MaxRequests bounds the run if convergence is slow.
+	MaxRequests int
+
+	// Seed makes the run reproducible.
+	Seed int64
+
+	// BitErrorRate corrupts each bucket read independently with this
+	// probability (error-prone channel extension; 0 disables).
+	BitErrorRate float64
+
+	// ZipfS skews request popularity over the records' popularity ranks
+	// (record index 0 hottest) with a Zipf exponent s > 1; 0 keeps the
+	// paper's uniform workload.
+	ZipfS float64
+
+	// DozePowerRatio is the doze-mode power draw relative to active
+	// listening (real receivers doze at a few percent of active power, not
+	// zero). It feeds the Energy criterion — an example of adding a new
+	// evaluation criterion to the testbed (paper §3). Zero reproduces the
+	// paper's pure tuning-time accounting.
+	DozePowerRatio float64
+
+	// Per-scheme options.
+	Onem      onem.Options
+	Dist      dist.Options
+	Hashing   hashing.Options
+	Signature signature.Options
+	Hybrid    hybrid.Options
+	Bdisk     bdisk.Options
+}
+
+// DefaultConfig returns the paper's Table 1 settings for a given scheme
+// and record count: 500-byte records, 25-byte keys, exponential arrivals,
+// confidence level 0.99, confidence accuracy 0.01, 500-request rounds.
+func DefaultConfig(scheme string, records int) Config {
+	return Config{
+		Scheme:       scheme,
+		Data:         datagen.Default(records),
+		Availability: 1,
+		RequestMean:  4096,
+		RoundSize:    500,
+		Confidence:   0.99,
+		Accuracy:     0.01,
+		MinRequests:  2000,
+		MaxRequests:  200000,
+		Seed:         42,
+		Onem:         onem.DefaultOptions(),
+		Dist:         dist.DefaultOptions(),
+		Hashing:      hashing.DefaultOptions(),
+		Signature:    signature.DefaultOptions(),
+		Hybrid:       hybrid.DefaultOptions(),
+		Bdisk:        bdisk.DefaultOptions(),
+	}
+}
+
+// Validate reports whether the configuration is runnable.
+func (c Config) Validate() error {
+	if !hasScheme(c.Scheme) {
+		return fmt.Errorf("core: unknown scheme %q (have %v)", c.Scheme, SchemeNames())
+	}
+	if err := c.Data.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Availability < 0 || c.Availability > 1:
+		return fmt.Errorf("core: availability %v outside [0,1]", c.Availability)
+	case c.RequestMean <= 0:
+		return fmt.Errorf("core: request mean %v must be positive", c.RequestMean)
+	case c.RoundSize < 2:
+		return fmt.Errorf("core: round size %d must be at least 2", c.RoundSize)
+	case c.Confidence <= 0 || c.Confidence >= 1:
+		return fmt.Errorf("core: confidence %v outside (0,1)", c.Confidence)
+	case c.Accuracy <= 0 || c.Accuracy >= 1:
+		return fmt.Errorf("core: accuracy %v outside (0,1)", c.Accuracy)
+	case c.MaxRequests < c.RoundSize:
+		return fmt.Errorf("core: max requests %d below one round of %d", c.MaxRequests, c.RoundSize)
+	case c.BitErrorRate < 0 || c.BitErrorRate >= 1:
+		return fmt.Errorf("core: bit error rate %v outside [0,1)", c.BitErrorRate)
+	case c.ZipfS != 0 && c.ZipfS <= 1:
+		return fmt.Errorf("core: zipf exponent %v must exceed 1 (or be 0 for uniform)", c.ZipfS)
+	case c.DozePowerRatio < 0 || c.DozePowerRatio > 1:
+		return fmt.Errorf("core: doze power ratio %v outside [0,1]", c.DozePowerRatio)
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package core_test
+
+import (
+	"fmt"
+
+	"github.com/airindex/airindex/internal/core"
+)
+
+// A complete testbed run: Table 1 geometry scaled down, distributed
+// indexing, accuracy-controlled stopping. Seeded runs are reproducible, so
+// the headline numbers are stable.
+func Example() {
+	cfg := core.DefaultConfig("distributed", 1000)
+	cfg.RoundSize = 250
+	cfg.Accuracy = 0.05
+	cfg.MinRequests = 500
+	cfg.MaxRequests = 2000
+	res, err := core.RunOne(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("scheme:", res.Scheme)
+	fmt.Println("all found:", res.Found == res.Requests)
+	fmt.Println("tuning under 8 bucket reads:", res.Probes.Mean() < 8)
+	fmt.Println("dozes through >99% of the wait:", res.Tuning.Mean() < 0.01*res.Access.Mean())
+	// Output:
+	// scheme: distributed
+	// all found: true
+	// tuning under 8 bucket reads: true
+	// dozes through >99% of the wait: true
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/airindex/airindex/internal/access"
+	"github.com/airindex/airindex/internal/datagen"
+	"github.com/airindex/airindex/internal/schemes/bdisk"
+	"github.com/airindex/airindex/internal/schemes/dist"
+	"github.com/airindex/airindex/internal/schemes/flat"
+	"github.com/airindex/airindex/internal/schemes/hashing"
+	"github.com/airindex/airindex/internal/schemes/hybrid"
+	"github.com/airindex/airindex/internal/schemes/onem"
+	"github.com/airindex/airindex/internal/schemes/signature"
+)
+
+// Builder constructs a broadcast for a dataset under a run configuration.
+// This is the testbed's extension point: the paper's adaptability claim
+// (§3) that new data access methods can be added without touching the
+// Simulator.
+type Builder func(ds *datagen.Dataset, cfg Config) (access.Broadcast, error)
+
+var (
+	registryMu sync.RWMutex
+	builders   = map[string]Builder{
+		flat.Name: func(ds *datagen.Dataset, _ Config) (access.Broadcast, error) {
+			return flat.Build(ds)
+		},
+		onem.Name: func(ds *datagen.Dataset, cfg Config) (access.Broadcast, error) {
+			return onem.Build(ds, cfg.Onem)
+		},
+		dist.Name: func(ds *datagen.Dataset, cfg Config) (access.Broadcast, error) {
+			return dist.Build(ds, cfg.Dist)
+		},
+		hashing.Name: func(ds *datagen.Dataset, cfg Config) (access.Broadcast, error) {
+			return hashing.Build(ds, cfg.Hashing)
+		},
+		signature.Name: func(ds *datagen.Dataset, cfg Config) (access.Broadcast, error) {
+			return signature.Build(ds, cfg.Signature)
+		},
+		signature.IntegratedName: func(ds *datagen.Dataset, cfg Config) (access.Broadcast, error) {
+			return signature.BuildIntegrated(ds, cfg.Signature)
+		},
+		signature.MultiLevelName: func(ds *datagen.Dataset, cfg Config) (access.Broadcast, error) {
+			return signature.BuildMultiLevel(ds, cfg.Signature)
+		},
+		hybrid.Name: func(ds *datagen.Dataset, cfg Config) (access.Broadcast, error) {
+			return hybrid.Build(ds, cfg.Hybrid)
+		},
+		bdisk.Name: func(ds *datagen.Dataset, cfg Config) (access.Broadcast, error) {
+			return bdisk.Build(ds, cfg.Bdisk)
+		},
+	}
+)
+
+// Register adds a new access method to the testbed. It fails on duplicate
+// or empty names.
+func Register(name string, b Builder) error {
+	if name == "" || b == nil {
+		return fmt.Errorf("core: scheme name and builder must be non-empty")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := builders[name]; dup {
+		return fmt.Errorf("core: scheme %q already registered", name)
+	}
+	builders[name] = b
+	return nil
+}
+
+// hasScheme reports whether a scheme name is registered.
+func hasScheme(name string) bool {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	_, ok := builders[name]
+	return ok
+}
+
+// SchemeNames lists the registered access methods, sorted.
+func SchemeNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BuildBroadcast constructs the broadcast for a configuration.
+func BuildBroadcast(ds *datagen.Dataset, cfg Config) (access.Broadcast, error) {
+	registryMu.RLock()
+	b, ok := builders[cfg.Scheme]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown scheme %q", cfg.Scheme)
+	}
+	return b(ds, cfg)
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/airindex/airindex/internal/access"
+	"github.com/airindex/airindex/internal/datagen"
+	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/stats"
+)
+
+// Result aggregates one simulation run. Access and tuning times are in
+// bytes, following the paper's measurement model (§4.1).
+type Result struct {
+	// Scheme is the access method that ran.
+	Scheme string
+	// Requests is the number of completed requests.
+	Requests int64
+	// Found and NotFound split requests by search outcome.
+	Found, NotFound int64
+	// Access and Tuning are the per-request byte samples.
+	Access, Tuning stats.Sample
+	// Energy is the per-request energy sample in active-listening byte
+	// equivalents: tuning bytes plus DozePowerRatio times the dozed bytes.
+	Energy stats.Sample
+	// Probes is the per-request bucket-read count sample.
+	Probes stats.Sample
+	// Rounds is how many accuracy-control rounds ran.
+	Rounds int
+	// Converged reports whether the AccuracyController's stopping rule was
+	// met (rather than the request cap).
+	Converged bool
+	// Restarts counts protocol restarts caused by injected bucket errors.
+	Restarts int64
+	// AccessP95 and AccessP99 are online P2 estimates of the access-time
+	// tail, in bytes; TuningP95/TuningP99 likewise for tuning time.
+	AccessP95, AccessP99 float64
+	TuningP95, TuningP99 float64
+	// CycleBytes is the broadcast cycle length.
+	CycleBytes int64
+	// Params echoes the scheme's structural parameters.
+	Params map[string]float64
+	// Events is the number of simulator events processed.
+	Events int64
+}
+
+// Simulator coordinates one run: it owns the data source, the broadcast
+// server's channel, the request generator and the result handler, exactly
+// mirroring the object architecture of the paper's Figure 3.
+type Simulator struct {
+	cfg  Config
+	ds   *datagen.Dataset
+	bc   access.Broadcast
+	rng  *sim.RNG
+	zipf func() int // nil for the uniform workload
+}
+
+// New validates the configuration, generates the data source and lets the
+// broadcast server construct the scheme's channel.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ds, err := datagen.Generate(cfg.Data)
+	if err != nil {
+		return nil, err
+	}
+	bc, err := BuildBroadcast(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{cfg: cfg, ds: ds, bc: bc, rng: sim.NewRNG(cfg.Seed)}
+	if cfg.ZipfS > 1 {
+		s.zipf = s.rng.Zipf(cfg.ZipfS, ds.Len())
+	}
+	return s, nil
+}
+
+// Broadcast exposes the constructed broadcast (for tests and examples).
+func (s *Simulator) Broadcast() access.Broadcast { return s.bc }
+
+// Dataset exposes the generated data source.
+func (s *Simulator) Dataset() *datagen.Dataset { return s.ds }
+
+// pickKey draws a request key: a stored key with probability Availability,
+// otherwise a key provably absent from the broadcast.
+func (s *Simulator) pickKey() uint64 {
+	var i int
+	if s.zipf != nil {
+		i = s.zipf()
+	} else {
+		i = s.rng.Intn(s.ds.Len())
+	}
+	if s.cfg.Availability >= 1 || s.rng.Float64() < s.cfg.Availability {
+		return s.ds.KeyAt(i)
+	}
+	return s.ds.MissingKeyNear(i)
+}
+
+// Run executes the simulation until the accuracy controller is satisfied
+// (both access-time and tuning-time samples within the configured
+// confidence accuracy, and at least MinRequests served) or MaxRequests is
+// reached.
+//
+// Requests are independent processes: because the broadcast schedule is
+// deterministic and periodic, each request's full interaction with the
+// channel is resolved by direct channel arithmetic at its arrival event —
+// an observably equivalent optimization over scheduling one event per
+// bucket read. The event queue carries arrivals and round boundaries.
+func (s *Simulator) Run() (*Result, error) {
+	res := &Result{
+		Scheme:     s.cfg.Scheme,
+		CycleBytes: s.bc.Channel().CycleLen(),
+		Params:     s.bc.Params(),
+	}
+	engine := sim.New()
+	accessP95 := stats.MustQuantile(0.95)
+	accessP99 := stats.MustQuantile(0.99)
+	tuningP95 := stats.MustQuantile(0.95)
+	tuningP99 := stats.MustQuantile(0.99)
+	var walkErr error
+	inRound := 0
+
+	var arrive func(*sim.Simulator)
+	arrive = func(eng *sim.Simulator) {
+		key := s.pickKey()
+		r, err := s.runRequest(key, eng.Now())
+		if err != nil {
+			walkErr = err
+			eng.Stop()
+			return
+		}
+		res.Requests++
+		if r.Found {
+			res.Found++
+		} else {
+			res.NotFound++
+		}
+		res.Access.Add(float64(r.Access))
+		res.Tuning.Add(float64(r.Tuning))
+		res.Energy.Add(float64(r.Tuning) + s.cfg.DozePowerRatio*float64(r.Access-r.Tuning))
+		res.Probes.Add(float64(r.Probes))
+		res.Restarts += int64(r.Restarts)
+		accessP95.Add(float64(r.Access))
+		accessP99.Add(float64(r.Access))
+		tuningP95.Add(float64(r.Tuning))
+		tuningP99.Add(float64(r.Tuning))
+
+		inRound++
+		if inRound >= s.cfg.RoundSize {
+			inRound = 0
+			res.Rounds++
+			if s.accuracyMet(res) && res.Requests >= int64(s.cfg.MinRequests) {
+				res.Converged = true
+				return // stop scheduling arrivals; queue drains
+			}
+		}
+		if res.Requests >= int64(s.cfg.MaxRequests) {
+			return
+		}
+		eng.After(s.rng.Exponential(s.cfg.RequestMean), arrive)
+	}
+	engine.After(s.rng.Exponential(s.cfg.RequestMean), arrive)
+
+	if err := engine.Run(0); err != nil && err != sim.ErrStopped {
+		return nil, err
+	}
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	res.Events = engine.Processed
+	res.AccessP95 = accessP95.Value()
+	res.AccessP99 = accessP99.Value()
+	res.TuningP95 = tuningP95.Value()
+	res.TuningP99 = tuningP99.Value()
+	return res, nil
+}
+
+// accuracyMet applies the paper's stopping rule to both criteria.
+func (s *Simulator) accuracyMet(res *Result) bool {
+	return res.Access.Converged(s.cfg.Confidence, s.cfg.Accuracy) &&
+		res.Tuning.Converged(s.cfg.Confidence, s.cfg.Accuracy)
+}
+
+// runRequest executes one request process.
+func (s *Simulator) runRequest(key uint64, arrival sim.Time) (access.FaultyResult, error) {
+	if s.cfg.BitErrorRate > 0 {
+		return access.WalkFaulty(
+			s.bc.Channel(),
+			func() access.Client { return s.bc.NewClient(key) },
+			arrival, s.cfg.BitErrorRate, s.rng.Float64, 0,
+		)
+	}
+	r, err := access.Walk(s.bc.Channel(), s.bc.NewClient(key), arrival, 0)
+	return access.FaultyResult{Result: r}, err
+}
+
+// RunOne builds a simulator for cfg and runs it; a convenience for the
+// experiment harness and examples.
+func RunOne(cfg Config) (*Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return s.Run()
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"github.com/airindex/airindex/internal/datagen"
+	"github.com/airindex/airindex/internal/schemes/treeidx"
+)
+
+// AblateReplication sweeps distributed indexing's replication depth r
+// (paper §2.1 uses the optimal r throughout; this shows what the choice is
+// worth).
+func AblateReplication(opt Options) ([]*Table, error) {
+	nr := opt.comparisonRecords()
+	ds, err := datagen.Generate(datagen.Default(nr))
+	if err != nil {
+		return nil, err
+	}
+	_, tree, err := treeidx.Compute(ds)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "ablate-r",
+		Title:   "Distributed indexing: replication depth sweep",
+		XLabel:  "r",
+		YLabel:  "bytes",
+		Columns: []string{"access (S)", "access (A)", "tuning (S)", "tuning (A)", "cycle_bytes"},
+	}
+	t.Note("workload: %d records; tree has %d levels", nr, tree.Levels)
+	for r := 0; r < tree.Levels; r++ {
+		cfg := opt.baseConfig("distributed", nr)
+		cfg.Dist.R = r
+		res, err := point(opt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		aA, aT := analytic(cfg, res)
+		t.AddRow(float64(r), res.Access.Mean(), aA, res.Tuning.Mean(), aT, float64(res.CycleBytes))
+	}
+	return []*Table{t}, nil
+}
+
+// AblateM sweeps (1,m) indexing's index replication count m.
+func AblateM(opt Options) ([]*Table, error) {
+	nr := opt.comparisonRecords()
+	t := &Table{
+		ID:      "ablate-m",
+		Title:   "(1,m) indexing: index replication sweep",
+		XLabel:  "m",
+		YLabel:  "bytes",
+		Columns: []string{"access (S)", "access (A)", "tuning (S)", "tuning (A)", "cycle_bytes"},
+	}
+	ms := []int{1, 2, 4, 8, 16, 32}
+	if opt.Fast {
+		ms = []int{1, 2, 4, 8}
+	}
+	for _, m := range ms {
+		cfg := opt.baseConfig("(1,m)", nr)
+		cfg.Onem.M = m
+		res, err := point(opt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		aA, aT := analytic(cfg, res)
+		t.AddRow(float64(m), res.Access.Mean(), aA, res.Tuning.Mean(), aT, float64(res.CycleBytes))
+	}
+	return []*Table{t}, nil
+}
+
+// AblateSignatureLength sweeps the signature size, exposing the paper's
+// two §2.3 tradeoffs: signature length against tuning time, and access
+// time against tuning time (short signatures -> short cycle but false
+// drops).
+func AblateSignatureLength(opt Options) ([]*Table, error) {
+	nr := opt.comparisonRecords()
+	t := &Table{
+		ID:      "ablate-sig",
+		Title:   "Signature indexing: signature length sweep",
+		XLabel:  "sig_bytes",
+		YLabel:  "bytes",
+		Columns: []string{"access (S)", "access (A)", "tuning (S)", "tuning (A)", "mean_probes"},
+	}
+	for _, sb := range []int{2, 4, 8, 16, 32, 64} {
+		cfg := opt.baseConfig("signature", nr)
+		cfg.Signature.SigBytes = sb
+		if cfg.Signature.BitsPerField > sb*8 {
+			cfg.Signature.BitsPerField = sb * 8
+		}
+		res, err := point(opt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		aA, aT := analytic(cfg, res)
+		t.AddRow(float64(sb), res.Access.Mean(), aA, res.Tuning.Mean(), aT, res.Probes.Mean())
+	}
+	return []*Table{t}, nil
+}
+
+// AblateHashAllocation sweeps the hashing load factor Nr/Na: the overflow
+// versus directory-size tradeoff of §2.2.
+func AblateHashAllocation(opt Options) ([]*Table, error) {
+	nr := opt.comparisonRecords()
+	t := &Table{
+		ID:      "ablate-hash",
+		Title:   "Simple hashing: allocation (load factor) sweep",
+		XLabel:  "load",
+		YLabel:  "bytes",
+		Columns: []string{"access (S)", "access (A)", "tuning (S)", "tuning (A)", "Nc", "empties"},
+	}
+	for _, lf := range []float64{1, 1.5, 2, 3, 5, 8} {
+		cfg := opt.baseConfig("hashing", nr)
+		cfg.Hashing.LoadFactor = lf
+		res, err := point(opt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		aA, aT := analytic(cfg, res)
+		t.AddRow(lf, res.Access.Mean(), aA, res.Tuning.Mean(), aT,
+			res.Params["Nc"], res.Params["empties"])
+	}
+	return []*Table{t}, nil
+}
+
+// AblateErrorRate sweeps an error-prone channel's bucket corruption rate
+// for distributed indexing and signature indexing (the extension motivated
+// by the paper's reference [9]): selective tuning's doze pointers are
+// fragile under errors, serial scans degrade more gracefully.
+func AblateErrorRate(opt Options) ([]*Table, error) {
+	nr := opt.comparisonRecords()
+	t := &Table{
+		ID:     "ablate-errors",
+		Title:  "Error-prone channel: bucket corruption sweep",
+		XLabel: "error_rate",
+		YLabel: "bytes",
+		Columns: []string{
+			"distributed access", "distributed tuning", "distributed restarts/req",
+			"signature access", "signature tuning", "signature restarts/req",
+		},
+	}
+	rates := []float64{0, 0.001, 0.01, 0.05, 0.1}
+	if opt.Fast {
+		rates = []float64{0, 0.01, 0.1}
+	}
+	for _, ber := range rates {
+		cells := make([]float64, 0, 6)
+		for _, s := range []string{"distributed", "signature"} {
+			cfg := opt.baseConfig(s, nr)
+			cfg.BitErrorRate = ber
+			res, err := point(opt, cfg)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, res.Access.Mean(), res.Tuning.Mean(),
+				float64(res.Restarts)/float64(res.Requests))
+		}
+		t.AddRow(ber, cells...)
+	}
+	return []*Table{t}, nil
+}

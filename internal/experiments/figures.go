@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/airindex/airindex/internal/core"
+)
+
+// point runs one (scheme, config) simulation; sequential helper used by
+// the smaller ablation sweeps.
+func point(opt Options, cfg core.Config) (*core.Result, error) {
+	res, err := core.RunOne(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s @ %d records: %w", cfg.Scheme, cfg.Data.NumRecords, err)
+	}
+	opt.progress("%-22s records=%-6d avail=%.0f%% access=%.0f tuning=%.0f requests=%d",
+		cfg.Scheme, cfg.Data.NumRecords, cfg.Availability*100,
+		res.Access.Mean(), res.Tuning.Mean(), res.Requests)
+	return res, nil
+}
+
+// Fig4 reproduces Figure 4: access time (a) and tuning time (b) versus the
+// number of broadcast data records, simulated (S) against analytical (A),
+// for flat broadcast, distributed indexing, simple hashing and signature
+// indexing.
+func Fig4(opt Options) ([]*Table, error) {
+	schemes := []string{"flat", "distributed", "hashing", "signature"}
+	acc := &Table{
+		ID:     "fig4a",
+		Title:  "Access time vs. number of data records",
+		XLabel: "records",
+		YLabel: "access time (bytes)",
+	}
+	tun := &Table{
+		ID:     "fig4b",
+		Title:  "Tuning time vs. number of data records",
+		XLabel: "records",
+		YLabel: "tuning time (bytes)",
+	}
+	for _, s := range schemes {
+		acc.Columns = append(acc.Columns, s+" (S)", s+" (A)")
+		// The paper's Figure 4(b) omits flat broadcast (its tuning equals
+		// its access time and dwarfs the others); keep the same legend.
+		if s != "flat" {
+			tun.Columns = append(tun.Columns, s+" (S)", s+" (A)")
+		}
+	}
+	sweep := opt.recordSweep()
+	var cfgs []core.Config
+	for _, nr := range sweep {
+		for _, s := range schemes {
+			cfgs = append(cfgs, opt.baseConfig(s, nr))
+		}
+	}
+	results, err := runPoints(opt, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for xi, nr := range sweep {
+		accCells := make([]float64, 0, len(acc.Columns))
+		tunCells := make([]float64, 0, len(tun.Columns))
+		for si, s := range schemes {
+			res := results[xi*len(schemes)+si]
+			aA, aT := analytic(cfgs[xi*len(schemes)+si], res)
+			accCells = append(accCells, res.Access.Mean(), aA)
+			if s != "flat" {
+				tunCells = append(tunCells, res.Tuning.Mean(), aT)
+			}
+		}
+		acc.AddRow(float64(nr), accCells...)
+		tun.AddRow(float64(nr), tunCells...)
+	}
+	return []*Table{acc, tun}, nil
+}
+
+// comparisonSweep runs the Figure 5/6 style experiments: for every x value
+// it configures all five schemes via mutate, and splits results into an
+// access table (all schemes) and tuning table (flat excluded, as in the
+// paper's figures).
+func comparisonSweep(opt Options, acc, tun *Table, xs []float64, mutate func(cfg *core.Config, x float64)) error {
+	accSchemes := []string{"flat", "signature", "(1,m)", "distributed", "hashing"}
+	for _, s := range accSchemes {
+		acc.Columns = append(acc.Columns, s)
+		if s != "flat" {
+			tun.Columns = append(tun.Columns, s)
+		}
+	}
+	nr := opt.comparisonRecords()
+	var cfgs []core.Config
+	for _, x := range xs {
+		for _, s := range accSchemes {
+			cfg := opt.baseConfig(s, nr)
+			mutate(&cfg, x)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := runPoints(opt, cfgs)
+	if err != nil {
+		return err
+	}
+	for xi, x := range xs {
+		accCells := make([]float64, 0, len(accSchemes))
+		tunCells := make([]float64, 0, len(accSchemes)-1)
+		for si, s := range accSchemes {
+			res := results[xi*len(accSchemes)+si]
+			accCells = append(accCells, res.Access.Mean())
+			if s != "flat" {
+				tunCells = append(tunCells, res.Tuning.Mean())
+			}
+		}
+		acc.AddRow(x, accCells...)
+		tun.AddRow(x, tunCells...)
+	}
+	return nil
+}
+
+// Fig5 reproduces Figure 5: access time (a) and tuning time (b) versus
+// data availability for plain broadcast, signature indexing, (1,m)
+// indexing, distributed indexing and hashing.
+func Fig5(opt Options) ([]*Table, error) {
+	acc := &Table{
+		ID:     "fig5a",
+		Title:  "Access time vs. data availability",
+		XLabel: "availability%",
+		YLabel: "access time (bytes)",
+	}
+	tun := &Table{
+		ID:     "fig5b",
+		Title:  "Tuning time vs. data availability",
+		XLabel: "availability%",
+		YLabel: "tuning time (bytes)",
+	}
+	acc.Note("workload: %d records; paper legend name for flat is 'plain broadcast'", opt.comparisonRecords())
+	xs := []float64{0, 20, 40, 60, 80, 100}
+	err := comparisonSweep(opt, acc, tun, xs, func(cfg *core.Config, x float64) {
+		cfg.Availability = x / 100
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{acc, tun}, nil
+}
+
+// Fig6 reproduces Figure 6: access time (a) and tuning time (b) versus the
+// record/key ratio (record size fixed at 500 bytes, key size = record
+// size/ratio), availability 100%.
+func Fig6(opt Options) ([]*Table, error) {
+	acc := &Table{
+		ID:     "fig6a",
+		Title:  "Access time vs. record/key ratio",
+		XLabel: "ratio",
+		YLabel: "access time (bytes)",
+	}
+	tun := &Table{
+		ID:     "fig6b",
+		Title:  "Tuning time vs. record/key ratio",
+		XLabel: "ratio",
+		YLabel: "tuning time (bytes)",
+	}
+	acc.Note("workload: %d records of 500 bytes; key size = 500/ratio", opt.comparisonRecords())
+	xs := []float64{5, 10, 20, 30, 40, 50, 60, 80, 100}
+	err := comparisonSweep(opt, acc, tun, xs, func(cfg *core.Config, x float64) {
+		keySize := int(500 / x)
+		if keySize < 4 {
+			keySize = 4
+		}
+		cfg.Data.RecordSize = 500
+		cfg.Data.KeySize = keySize
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{acc, tun}, nil
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/airindex/airindex/internal/core"
+)
+
+// runPoints executes one simulation per config concurrently (bounded by
+// GOMAXPROCS) and returns results in input order. Every run is seeded by
+// its own config, so the output is identical to a sequential sweep.
+func runPoints(opt Options, cfgs []core.Config) ([]*core.Result, error) {
+	results := make([]*core.Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var progressMu sync.Mutex
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := cfgs[i]
+			res, err := core.RunOne(cfg)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s @ %d records: %w", cfg.Scheme, cfg.Data.NumRecords, err)
+				return
+			}
+			results[i] = res
+			progressMu.Lock()
+			opt.progress("%-22s records=%-6d avail=%.0f%% access=%.0f tuning=%.0f requests=%d",
+				cfg.Scheme, cfg.Data.NumRecords, cfg.Availability*100,
+				res.Access.Mean(), res.Tuning.Mean(), res.Requests)
+			progressMu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// seriesGlyphs mark the data points of successive series in a plot.
+var seriesGlyphs = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&', '$', '~'}
+
+// WritePlot renders the table as an ASCII chart — one glyph per series,
+// linear axes — so a terminal shows the same curves the paper's figures
+// plot. Columns whose values are all NaN are skipped. The chart area is
+// width x height characters, excluding axes and the legend.
+func (t *Table) WritePlot(w io.Writer, width, height int) error {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	if len(t.Rows) == 0 {
+		_, err := fmt.Fprintf(w, "%s: no data\n", t.ID)
+		return err
+	}
+
+	// Bounds over plottable cells.
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	plottable := make([]bool, len(t.Columns))
+	for ci := range t.Columns {
+		for _, r := range t.Rows {
+			v := r.Cells[ci]
+			if math.IsNaN(v) {
+				continue
+			}
+			plottable[ci] = true
+			yMin = math.Min(yMin, v)
+			yMax = math.Max(yMax, v)
+		}
+	}
+	for _, r := range t.Rows {
+		xMin = math.Min(xMin, r.X)
+		xMax = math.Max(xMax, r.X)
+	}
+	if math.IsInf(yMin, 1) {
+		_, err := fmt.Fprintf(w, "%s: nothing plottable\n", t.ID)
+		return err
+	}
+	if yMin > 0 && yMin < yMax/3 {
+		yMin = 0 // anchor at zero unless the series are tightly banded
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	mark := func(x float64, y float64, glyph byte) {
+		cx := int(math.Round((x - xMin) / (xMax - xMin) * float64(width-1)))
+		cy := int(math.Round((y - yMin) / (yMax - yMin) * float64(height-1)))
+		row := height - 1 - cy
+		if cell := grid[row][cx]; cell != ' ' && cell != glyph {
+			grid[row][cx] = '?' // collision marker
+			return
+		}
+		grid[row][cx] = glyph
+	}
+	for ci := range t.Columns {
+		if !plottable[ci] {
+			continue
+		}
+		glyph := seriesGlyphs[ci%len(seriesGlyphs)]
+		for _, r := range t.Rows {
+			if !math.IsNaN(r.Cells[ci]) {
+				mark(r.X, r.Cells[ci], glyph)
+			}
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	yLabelTop := fmt.Sprintf("%.3g", yMax)
+	yLabelBot := fmt.Sprintf("%.3g", yMin)
+	pad := len(yLabelTop)
+	if len(yLabelBot) > pad {
+		pad = len(yLabelBot)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", pad)
+		if i == 0 {
+			label = fmt.Sprintf("%*s", pad, yLabelTop)
+		}
+		if i == height-1 {
+			label = fmt.Sprintf("%*s", pad, yLabelBot)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s  %-*s%s\n", strings.Repeat(" ", pad), width-len(fmt.Sprintf("%.3g", xMax)),
+		fmt.Sprintf("%.3g", xMin), fmt.Sprintf("%.3g", xMax)); err != nil {
+		return err
+	}
+	// Legend.
+	var legend []string
+	for ci, name := range t.Columns {
+		if plottable[ci] {
+			legend = append(legend, fmt.Sprintf("%c %s", seriesGlyphs[ci%len(seriesGlyphs)], name))
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s  x: %s, y: %s | %s\n\n",
+		strings.Repeat(" ", pad), t.XLabel, t.YLabel, strings.Join(legend, "  ")); err != nil {
+		return err
+	}
+	return nil
+}

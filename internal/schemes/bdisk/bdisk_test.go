@@ -1,0 +1,171 @@
+package bdisk
+
+import (
+	"testing"
+
+	"github.com/airindex/airindex/internal/access"
+	"github.com/airindex/airindex/internal/datagen"
+	"github.com/airindex/airindex/internal/sim"
+)
+
+func dataset(t *testing.T, n int) *datagen.Dataset {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.Default(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func build(t *testing.T, n int) (*datagen.Dataset, *Broadcast) {
+	t.Helper()
+	ds := dataset(t, n)
+	b, err := Build(ds, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, b
+}
+
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{},
+		{Fractions: []float64{0.5, 0.5}, RelFreq: []int{2}},
+		{Fractions: []float64{0.5, 0.4}, RelFreq: []int{2, 1}},  // sums to 0.9
+		{Fractions: []float64{0.5, 0.5}, RelFreq: []int{1, 2}},  // increasing freq
+		{Fractions: []float64{0.5, 0.5}, RelFreq: []int{2, 0}},  // zero freq
+		{Fractions: []float64{-0.1, 1.1}, RelFreq: []int{2, 1}}, // negative
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("options %d should be invalid", i)
+		}
+	}
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleFrequencies(t *testing.T) {
+	ds, b := build(t, 1000)
+	// Default pyramid: lcm(4,2,1) = 4 minor cycles.
+	if b.minors != 4 {
+		t.Fatalf("minor cycles = %d, want 4", b.minors)
+	}
+	// Count appearances per record over the major cycle.
+	counts := make([]int, ds.Len())
+	for _, r := range b.recOf {
+		counts[r]++
+	}
+	want := []int{4, 2, 1}
+	for r, c := range counts {
+		if c != want[b.DiskOf(r)] {
+			t.Fatalf("record %d (disk %d) appears %d times, want %d", r, b.DiskOf(r), c, want[b.DiskOf(r)])
+		}
+	}
+	// Disk membership follows the popularity ranking: hottest 10% on disk 0.
+	if b.DiskOf(0) != 0 || b.DiskOf(99) != 0 || b.DiskOf(100) != 1 || b.DiskOf(399) != 1 || b.DiskOf(400) != 2 {
+		t.Fatal("disk partition boundaries wrong")
+	}
+	// Total slots = 100*4 + 300*2 + 600*1.
+	if b.Channel().NumBuckets() != 100*4+300*2+600 {
+		t.Fatalf("slots = %d", b.Channel().NumBuckets())
+	}
+}
+
+func TestChunksInterleavePerMinorCycle(t *testing.T) {
+	// Every minor cycle must contain one chunk of every disk, so the gap
+	// between consecutive appearances of a hot record is about a minor
+	// cycle, not the whole major cycle.
+	_, b := build(t, 400)
+	positions := map[int][]int64{}
+	for i, r := range b.recOf {
+		positions[r] = append(positions[r], b.Channel().StartInCycle(i))
+	}
+	cycle := b.Channel().CycleLen()
+	minor := cycle / int64(b.minors)
+	for r, pos := range positions {
+		if b.DiskOf(r) != 0 {
+			continue
+		}
+		for j := 1; j < len(pos); j++ {
+			gap := pos[j] - pos[j-1]
+			if gap > 2*minor {
+				t.Fatalf("hot record %d has a %d-byte gap (minor cycle %d)", r, gap, minor)
+			}
+		}
+	}
+}
+
+func TestFindsEveryKey(t *testing.T) {
+	ds, b := build(t, 500)
+	rng := sim.NewRNG(4)
+	for i := 0; i < ds.Len(); i += 3 {
+		arrival := sim.Time(rng.Int63n(b.Channel().CycleLen()))
+		res, err := access.Walk(b.Channel(), b.NewClient(ds.KeyAt(i)), arrival, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found {
+			t.Fatalf("key %d not found", ds.KeyAt(i))
+		}
+	}
+}
+
+func TestMissingKeyFails(t *testing.T) {
+	ds, b := build(t, 300)
+	res, err := access.Walk(b.Channel(), b.NewClient(ds.MissingKeyNear(100)), 17, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("missing key reported found")
+	}
+	if res.Probes != b.Channel().NumBuckets() {
+		t.Fatalf("missing key probes = %d, want the full major cycle %d", res.Probes, b.Channel().NumBuckets())
+	}
+}
+
+func TestHotRecordsWaitLess(t *testing.T) {
+	ds, b := build(t, 600)
+	rng := sim.NewRNG(9)
+	meanAccess := func(rec int) float64 {
+		var sum float64
+		const n = 300
+		for i := 0; i < n; i++ {
+			arrival := sim.Time(rng.Int63n(b.Channel().CycleLen()))
+			res, err := access.Walk(b.Channel(), b.NewClient(ds.KeyAt(rec)), arrival, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += float64(res.Access)
+		}
+		return sum / n
+	}
+	hot := meanAccess(5)    // disk 0, broadcast 4x
+	cold := meanAccess(599) // disk 2, broadcast 1x
+	if hot*2 > cold {
+		t.Fatalf("hot record access %.0f should be far below cold %.0f", hot, cold)
+	}
+}
+
+func TestEncodeSizes(t *testing.T) {
+	_, b := build(t, 200)
+	for i := 0; i < b.Channel().NumBuckets(); i++ {
+		bk := b.Channel().Bucket(i)
+		if len(bk.Encode()) != bk.Size() {
+			t.Fatalf("bucket %d encode/size mismatch", i)
+		}
+	}
+}
+
+func TestSingleDiskEqualsFlatOrder(t *testing.T) {
+	ds := dataset(t, 150)
+	b, err := Build(ds, Options{Fractions: []float64{1}, RelFreq: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Channel().NumBuckets() != ds.Len() {
+		t.Fatalf("single disk should broadcast each record once, got %d slots", b.Channel().NumBuckets())
+	}
+}

@@ -1,0 +1,299 @@
+package dist
+
+import (
+	"testing"
+
+	"github.com/airindex/airindex/internal/access"
+	"github.com/airindex/airindex/internal/datagen"
+	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/wire"
+)
+
+func dataset(t *testing.T, n int) *datagen.Dataset {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.Default(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func build(t *testing.T, n, r int) (*datagen.Dataset, *Broadcast) {
+	t.Helper()
+	ds := dataset(t, n)
+	b, err := Build(ds, Options{R: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, b
+}
+
+// figure1Dataset produces the paper's Figure 1 shape: 81 records indexed by
+// a fanout-3, 4-level tree (1 root, 3 a-nodes, 9 b-nodes, 27 c-nodes). The
+// record/key geometry is chosen so the layout fixpoint lands on fanout 3.
+func figure1Dataset(t *testing.T) *datagen.Dataset {
+	t.Helper()
+	cfg := datagen.Config{NumRecords: 81, RecordSize: 100, KeySize: 8, NumAttributes: 1, Seed: 1}
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestFigure1TreeShape(t *testing.T) {
+	ds := figure1Dataset(t)
+	b, err := Build(ds, Options{R: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := b.Tree()
+	if tr.Fanout != 3 || tr.Levels != 4 {
+		t.Fatalf("tree fanout/levels = %d/%d, want 3/4 (Figure 1)", tr.Fanout, tr.Levels)
+	}
+	want := []int{1, 3, 9, 27}
+	for l, w := range want {
+		if len(tr.ByLevel[l]) != w {
+			t.Fatalf("level %d has %d nodes, want %d", l, len(tr.ByLevel[l]), w)
+		}
+	}
+}
+
+// TestFigure1ReplicationPattern pins the broadcast organization of the
+// paper's worked example (§2.1): with r=2 the first index segment is
+// I, a1, b1, c1, c2, c3 and the second is a1, b2, c4, c5, c6; the root is
+// broadcast before the first segment of each a-subtree (segments 0, 3, 6)
+// and each a-node before each of its b-children's segments.
+func TestFigure1ReplicationPattern(t *testing.T) {
+	ds := figure1Dataset(t)
+	b, err := Build(ds, Options{R: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := b.Tree()
+	if len(b.SegmentStarts()) != 9 {
+		t.Fatalf("segments = %d, want 9", len(b.SegmentStarts()))
+	}
+
+	// Segment 0: I, a1, b1, then b1's three leaf children.
+	seg0 := b.SegmentStarts()[0]
+	wantSeg0 := []interface{}{tr.Root, tr.ByLevel[1][0], tr.ByLevel[2][0],
+		tr.ByLevel[3][0], tr.ByLevel[3][1], tr.ByLevel[3][2]}
+	for off, wn := range wantSeg0 {
+		if b.nodeOf[seg0+off] != wn {
+			t.Fatalf("segment 0 position %d holds wrong node", off)
+		}
+	}
+	// Segment 1: a1, b2, leaves c4..c6 — no root.
+	seg1 := b.SegmentStarts()[1]
+	wantSeg1 := []interface{}{tr.ByLevel[1][0], tr.ByLevel[2][1],
+		tr.ByLevel[3][3], tr.ByLevel[3][4], tr.ByLevel[3][5]}
+	for off, wn := range wantSeg1 {
+		if b.nodeOf[seg1+off] != wn {
+			t.Fatalf("segment 1 position %d holds wrong node", off)
+		}
+	}
+
+	// Root occurrences: first bucket of segments 0, 3, 6.
+	rootInst := b.Instances(tr.Root)
+	if len(rootInst) != 3 {
+		t.Fatalf("root broadcast %d times, want 3 (one per child)", len(rootInst))
+	}
+	for i, seg := range []int{0, 3, 6} {
+		if rootInst[i] != b.SegmentStarts()[seg] {
+			t.Fatalf("root occurrence %d at bucket %d, want segment %d start %d",
+				i, rootInst[i], seg, b.SegmentStarts()[seg])
+		}
+	}
+	// a2 appears in segments 3, 4, 5 (before each of b4, b5, b6).
+	a2Inst := b.Instances(tr.ByLevel[1][1])
+	if len(a2Inst) != 3 {
+		t.Fatalf("a2 broadcast %d times, want 3", len(a2Inst))
+	}
+	// Non-replicated nodes appear exactly once.
+	for _, n := range tr.ByLevel[2] {
+		if len(b.Instances(n)) != 1 {
+			t.Fatalf("level-2 node broadcast %d times, want 1", len(b.Instances(n)))
+		}
+	}
+	for _, n := range tr.ByLevel[3] {
+		if len(b.Instances(n)) != 1 {
+			t.Fatalf("leaf node broadcast %d times, want 1", len(b.Instances(n)))
+		}
+	}
+
+	// Total index buckets: replicated occurrences (3 + 9) + non-replicated
+	// (9 + 27) = 48.
+	if got := b.Channel().CountKind(wire.KindIndex); got != 48 {
+		t.Fatalf("index buckets = %d, want 48", got)
+	}
+	if got := b.Channel().CountKind(wire.KindData); got != 81 {
+		t.Fatalf("data buckets = %d, want 81", got)
+	}
+}
+
+func TestFindsEveryKeyEveryR(t *testing.T) {
+	ds := dataset(t, 400)
+	for r := 0; r < 3; r++ {
+		b, err := Build(ds, Options{R: r})
+		if err != nil {
+			t.Fatalf("r=%d: %v", r, err)
+		}
+		rng := sim.NewRNG(int64(100 + r))
+		for i := 0; i < ds.Len(); i += 3 {
+			arrival := sim.Time(rng.Int63n(b.Channel().CycleLen()))
+			res, err := access.Walk(b.Channel(), b.NewClient(ds.KeyAt(i)), arrival, 0)
+			if err != nil {
+				t.Fatalf("r=%d key %d: %v", r, ds.KeyAt(i), err)
+			}
+			if !res.Found {
+				t.Fatalf("r=%d: key %d not found", r, ds.KeyAt(i))
+			}
+		}
+	}
+}
+
+func TestMissingKeysFail(t *testing.T) {
+	ds, b := build(t, 400, -1)
+	rng := sim.NewRNG(31)
+	for i := 0; i < ds.Len(); i += 11 {
+		arrival := sim.Time(rng.Int63n(b.Channel().CycleLen()))
+		res, err := access.Walk(b.Channel(), b.NewClient(ds.MissingKeyNear(i)), arrival, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found {
+			t.Fatalf("missing key near %d reported found", i)
+		}
+		// Absence is detected from index buckets alone, within a bounded
+		// number of probes (first probe + up-jump + descent).
+		if res.Probes > b.Tree().Levels+3 {
+			t.Fatalf("missing key took %d probes", res.Probes)
+		}
+	}
+}
+
+func TestOutOfRangeKeysFailFromIndexAlone(t *testing.T) {
+	ds, b := build(t, 200, -1)
+	for _, key := range []uint64{0, ds.MaxKey() + 10} {
+		res, err := access.Walk(b.Channel(), b.NewClient(key), 50, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// First probe, segment start, then at most a climb to the root:
+		// never a data bucket.
+		if res.Found || res.Probes > 2+b.R() {
+			t.Fatalf("out-of-range key: found=%v probes=%d", res.Found, res.Probes)
+		}
+	}
+}
+
+func TestTuningBound(t *testing.T) {
+	ds, b := build(t, 2000, -1)
+	k := b.Tree().Levels
+	rng := sim.NewRNG(37)
+	for i := 0; i < 400; i++ {
+		key := ds.KeyAt(rng.Intn(ds.Len()))
+		arrival := sim.Time(rng.Int63n(b.Channel().CycleLen()))
+		res, err := access.Walk(b.Channel(), b.NewClient(key), arrival, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 1 first probe + 1 segment start + <=1 up-jump + (k-1) descent +
+		// 1 data download.
+		if res.Probes > k+3 {
+			t.Fatalf("present key took %d probes, want <= %d", res.Probes, k+3)
+		}
+	}
+}
+
+func TestReplicationReducesAccessVersusRZero(t *testing.T) {
+	// r=0 broadcasts the tree once per cycle: long average wait for the
+	// single index segment. The optimal r must beat it on mean access.
+	ds := dataset(t, 3000)
+	b0, err := Build(ds, Options{R: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bOpt, err := Build(ds, Options{R: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bOpt.R() == 0 {
+		t.Skip("optimal r is 0 for this configuration")
+	}
+	mean := func(b *Broadcast) float64 {
+		rng := sim.NewRNG(77)
+		var sum float64
+		const n = 400
+		for i := 0; i < n; i++ {
+			key := ds.KeyAt(rng.Intn(ds.Len()))
+			arrival := sim.Time(rng.Int63n(b.Channel().CycleLen()))
+			res, err := access.Walk(b.Channel(), b.NewClient(key), arrival, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += float64(res.Access)
+		}
+		return sum / n
+	}
+	if m0, mOpt := mean(b0), mean(bOpt); mOpt >= m0 {
+		t.Fatalf("optimal r=%d mean access %.0f should beat r=0's %.0f", bOpt.R(), mOpt, m0)
+	}
+}
+
+func TestSegmentStartsAreIndexBuckets(t *testing.T) {
+	_, b := build(t, 1000, -1)
+	for _, s := range b.SegmentStarts() {
+		if b.nodeOf[s] == nil {
+			t.Fatalf("segment start %d is a data bucket", s)
+		}
+	}
+	// nextSeg of every bucket points at a segment start.
+	starts := make(map[int]bool)
+	for _, s := range b.SegmentStarts() {
+		starts[s] = true
+	}
+	for i, ns := range b.nextSeg {
+		if !starts[ns] {
+			t.Fatalf("bucket %d nextSeg %d is not a segment start", i, ns)
+		}
+	}
+}
+
+func TestEncodeSizeAgreement(t *testing.T) {
+	_, b := build(t, 300, -1)
+	ch := b.Channel()
+	for i := 0; i < ch.NumBuckets(); i++ {
+		bk := ch.Bucket(i)
+		if len(bk.Encode()) != bk.Size() || bk.Size() != b.Layout().BucketSize {
+			t.Fatalf("bucket %d encode/size mismatch", i)
+		}
+	}
+}
+
+func TestInvalidR(t *testing.T) {
+	ds := dataset(t, 200)
+	if _, err := Build(ds, Options{R: 99}); err == nil {
+		t.Fatal("huge r accepted")
+	}
+}
+
+func TestAccessFromEveryArrivalBucket(t *testing.T) {
+	ds, b := build(t, 150, -1)
+	for p := 0; p < b.Channel().NumBuckets(); p += 2 {
+		arrival := sim.Time(b.Channel().StartInCycle(p) + 1)
+		for _, i := range []int{0, 75, 149} {
+			res, err := access.Walk(b.Channel(), b.NewClient(ds.KeyAt(i)), arrival, 0)
+			if err != nil {
+				t.Fatalf("arrival bucket %d key %d: %v", p, i, err)
+			}
+			if !res.Found {
+				t.Fatalf("key %d not found from bucket %d", ds.KeyAt(i), p)
+			}
+			if res.Access > 3*b.Channel().CycleLen() {
+				t.Fatalf("access %d exceeds 3 cycles from bucket %d", res.Access, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package flat
+
+import (
+	"testing"
+
+	"github.com/airindex/airindex/internal/access"
+	"github.com/airindex/airindex/internal/datagen"
+	"github.com/airindex/airindex/internal/sim"
+)
+
+func build(t *testing.T, n int) (*datagen.Dataset, *Broadcast) {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.Default(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, b
+}
+
+func TestBucketSizeMatchesEncoding(t *testing.T) {
+	_, b := build(t, 50)
+	for i := 0; i < b.Channel().NumBuckets(); i++ {
+		bk := b.Channel().Bucket(i)
+		if got := len(bk.Encode()); got != bk.Size() {
+			t.Fatalf("bucket %d encodes to %d bytes, Size() says %d", i, got, bk.Size())
+		}
+	}
+}
+
+func TestFindsEveryKeyFromCycleStart(t *testing.T) {
+	ds, b := build(t, 200)
+	for i := 0; i < ds.Len(); i++ {
+		res, err := access.Walk(b.Channel(), b.NewClient(ds.KeyAt(i)), 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found {
+			t.Fatalf("key %d not found", ds.KeyAt(i))
+		}
+		// From cycle start the i-th record needs exactly i+1 bucket reads.
+		if res.Probes != i+1 {
+			t.Fatalf("key %d took %d probes, want %d", ds.KeyAt(i), res.Probes, i+1)
+		}
+		wantBytes := int64(i+1) * b.Channel().SizeOf(0)
+		if res.Tuning != wantBytes || res.Access != wantBytes {
+			t.Fatalf("key %d: access/tuning = %d/%d, want %d", ds.KeyAt(i), res.Access, res.Tuning, wantBytes)
+		}
+	}
+}
+
+func TestMissingKeyScansFullCycle(t *testing.T) {
+	ds, b := build(t, 100)
+	res, err := access.Walk(b.Channel(), b.NewClient(ds.MissingKeyNear(42)), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("missing key reported found")
+	}
+	if res.Probes != 100 {
+		t.Fatalf("missing key probes = %d, want full cycle of 100", res.Probes)
+	}
+	if res.Tuning != b.Channel().CycleLen() {
+		t.Fatalf("missing key tuning = %d, want full cycle %d", res.Tuning, b.Channel().CycleLen())
+	}
+}
+
+func TestMidCycleArrivalWrapsToFindEarlierKey(t *testing.T) {
+	ds, b := build(t, 100)
+	// Arrive just after record 10's bucket started: the client must wrap a
+	// whole cycle to get back to it.
+	arrival := sim.Time(b.Channel().StartInCycle(10) + 1)
+	res, err := access.Walk(b.Channel(), b.NewClient(ds.KeyAt(10)), arrival, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("key not found after wrap")
+	}
+	if res.Probes != 100 {
+		t.Fatalf("wrap probes = %d, want 100", res.Probes)
+	}
+}
+
+func TestTuningEqualsAccessAlways(t *testing.T) {
+	// Flat broadcast clients never doze, so tuning bytes == bytes from the
+	// first complete bucket onward. Access includes the initial wait.
+	ds, b := build(t, 64)
+	for _, arrival := range []sim.Time{0, 7, 333, 12345} {
+		res, err := access.Walk(b.Channel(), b.NewClient(ds.KeyAt(33)), arrival, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, start := b.Channel().NextBucketAt(arrival)
+		if res.Access != res.Tuning+int64(start-arrival) {
+			t.Fatalf("arrival %d: access %d != tuning %d + initial wait %d", arrival, res.Access, res.Tuning, start-arrival)
+		}
+	}
+}
+
+func TestContainsAndParams(t *testing.T) {
+	ds, b := build(t, 30)
+	if !b.Contains(ds.KeyAt(0)) || b.Contains(ds.MissingKeyNear(0)) {
+		t.Fatal("Contains ground truth wrong")
+	}
+	p := b.Params()
+	if p["records"] != 30 || p["cycle_bytes"] != float64(b.Channel().CycleLen()) {
+		t.Fatalf("params %v", p)
+	}
+	if b.Name() != Name {
+		t.Fatal("name mismatch")
+	}
+}
+
+func TestAverageAccessIsHalfCycle(t *testing.T) {
+	// Sample uniform arrivals and uniform keys: mean access and tuning
+	// should both be about half the cycle (paper §4.2).
+	ds, b := build(t, 500)
+	rng := sim.NewRNG(5)
+	cycle := b.Channel().CycleLen()
+	var sumA, sumT float64
+	const n = 4000
+	for i := 0; i < n; i++ {
+		arrival := sim.Time(rng.Int63n(cycle))
+		key := ds.KeyAt(rng.Intn(ds.Len()))
+		res, err := access.Walk(b.Channel(), b.NewClient(key), arrival, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumA += float64(res.Access)
+		sumT += float64(res.Tuning)
+	}
+	half := float64(cycle) / 2
+	if got := sumA / n; got < 0.9*half || got > 1.1*half {
+		t.Fatalf("mean access %.0f, want about %.0f", got, half)
+	}
+	if got := sumT / n; got < 0.9*half || got > 1.1*half {
+		t.Fatalf("mean tuning %.0f, want about %.0f", got, half)
+	}
+}
+
+func TestAttrQueryScansLikeKeyQuery(t *testing.T) {
+	ds, b := build(t, 150)
+	for _, i := range []int{0, 75, 149} {
+		for attr := 0; attr < ds.Config().NumAttributes; attr++ {
+			value := ds.Record(i).Attrs[attr]
+			res, err := access.Walk(b.Channel(), b.NewAttrClient(attr, value), 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Found {
+				t.Fatalf("record %d attr %d not found", i, attr)
+			}
+			// Flat broadcast has no filtering aid: tuning equals the scan.
+			if res.Tuning != int64(res.Probes)*b.Channel().SizeOf(0) {
+				t.Fatal("attr scan accounting wrong")
+			}
+		}
+	}
+}
+
+func TestAttrQueryMissingValue(t *testing.T) {
+	ds, b := build(t, 100)
+	res, err := access.Walk(b.Channel(), b.NewAttrClient(0, "value that exists nowhere"), 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("nonexistent attribute value found")
+	}
+	if res.Probes != ds.Len() {
+		t.Fatalf("missing attr value probes = %d, want full cycle %d", res.Probes, ds.Len())
+	}
+	// Out-of-range attribute index behaves like a failed search.
+	res, err = access.Walk(b.Channel(), b.NewAttrClient(77, ds.Record(0).Attrs[0]), 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("out-of-range attribute index found a record")
+	}
+}

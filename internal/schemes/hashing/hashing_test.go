@@ -1,0 +1,256 @@
+package hashing
+
+import (
+	"testing"
+
+	"github.com/airindex/airindex/internal/access"
+	"github.com/airindex/airindex/internal/datagen"
+	"github.com/airindex/airindex/internal/sim"
+)
+
+func dataset(t *testing.T, n int) *datagen.Dataset {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.Default(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func build(t *testing.T, n int, load float64) (*datagen.Dataset, *Broadcast) {
+	t.Helper()
+	ds := dataset(t, n)
+	b, err := Build(ds, Options{LoadFactor: load})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, b
+}
+
+func TestLayoutInvariants(t *testing.T) {
+	_, b := build(t, 500, 3)
+	// Directory property: every hash value's chain starts at or after its
+	// position.
+	for h := 0; h < b.na; h++ {
+		if b.chainStart[h] < h {
+			t.Fatalf("chainStart[%d] = %d violates directory property", h, b.chainStart[h])
+		}
+	}
+	// Chains are contiguous runs of equal hash values in increasing order.
+	for i := 1; i < len(b.hashOf); i++ {
+		if b.hashOf[i] < b.hashOf[i-1] {
+			t.Fatalf("hash values out of order at bucket %d", i)
+		}
+	}
+	// Every record appears exactly once.
+	seen := make(map[int]bool)
+	records := 0
+	for _, r := range b.recIdx {
+		if r >= 0 {
+			if seen[r] {
+				t.Fatalf("record %d appears twice", r)
+			}
+			seen[r] = true
+			records++
+		}
+	}
+	if records != 500 {
+		t.Fatalf("%d records laid out, want 500", records)
+	}
+	// Bucket count accounting: N = records + empties.
+	if b.ch.NumBuckets() != 500+b.empties {
+		t.Fatalf("buckets = %d, want %d", b.ch.NumBuckets(), 500+b.empties)
+	}
+}
+
+func TestBucketEncodingSizes(t *testing.T) {
+	_, b := build(t, 100, 3)
+	for i := 0; i < b.ch.NumBuckets(); i++ {
+		bk := b.ch.Bucket(i)
+		if len(bk.Encode()) != bk.Size() {
+			t.Fatalf("bucket %d: encode/size mismatch", i)
+		}
+		if bk.Size() != b.ch.Bucket(0).Size() {
+			t.Fatal("hashing buckets must be uniform size")
+		}
+	}
+}
+
+func TestFindsEveryKey(t *testing.T) {
+	ds, b := build(t, 400, 3)
+	rng := sim.NewRNG(7)
+	for i := 0; i < ds.Len(); i++ {
+		arrival := sim.Time(rng.Int63n(b.ch.CycleLen()))
+		res, err := access.Walk(b.ch, b.NewClient(ds.KeyAt(i)), arrival, 0)
+		if err != nil {
+			t.Fatalf("key %d: %v", ds.KeyAt(i), err)
+		}
+		if !res.Found {
+			t.Fatalf("key %d not found", ds.KeyAt(i))
+		}
+	}
+}
+
+func TestMissingKeysFail(t *testing.T) {
+	ds, b := build(t, 400, 3)
+	rng := sim.NewRNG(8)
+	for i := 0; i < ds.Len(); i += 13 {
+		arrival := sim.Time(rng.Int63n(b.ch.CycleLen()))
+		res, err := access.Walk(b.ch, b.NewClient(ds.MissingKeyNear(i)), arrival, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found {
+			t.Fatalf("missing key near %d reported found", i)
+		}
+	}
+}
+
+func TestTuningIsSmallAndFlat(t *testing.T) {
+	// The paper's key result for hashing: tuning time is a handful of
+	// bucket reads, independent of the number of records.
+	var means []float64
+	for _, n := range []int{200, 800, 3200} {
+		ds, b := build(t, n, 3)
+		rng := sim.NewRNG(11)
+		var sum float64
+		const reqs = 500
+		for i := 0; i < reqs; i++ {
+			key := ds.KeyAt(rng.Intn(ds.Len()))
+			arrival := sim.Time(rng.Int63n(b.ch.CycleLen()))
+			res, err := access.Walk(b.ch, b.NewClient(key), arrival, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += float64(res.Probes)
+		}
+		means = append(means, sum/reqs)
+	}
+	for i, m := range means {
+		if m > 8 {
+			t.Fatalf("mean probes %v at size index %d; hashing should need only a few", m, i)
+		}
+	}
+	// Flatness: the largest and smallest means stay close.
+	lo, hi := means[0], means[0]
+	for _, m := range means {
+		if m < lo {
+			lo = m
+		}
+		if m > hi {
+			hi = m
+		}
+	}
+	if hi-lo > 1.5 {
+		t.Fatalf("mean probes vary too much across sizes: %v", means)
+	}
+}
+
+func TestSeekFromEveryArrivalPosition(t *testing.T) {
+	// Exhaustively check a small broadcast from arrivals in every bucket.
+	ds, b := build(t, 60, 2)
+	bucketSize := b.ch.SizeOf(0)
+	for p := 0; p < b.ch.NumBuckets(); p++ {
+		arrival := sim.Time(int64(p)*bucketSize + 1)
+		for _, i := range []int{0, 30, 59} {
+			res, err := access.Walk(b.ch, b.NewClient(ds.KeyAt(i)), arrival, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Found {
+				t.Fatalf("key %d not found from arrival bucket %d", ds.KeyAt(i), p)
+			}
+			// Access can never exceed two full cycles plus a chain.
+			if res.Access > 3*b.ch.CycleLen() {
+				t.Fatalf("access %d too large from arrival bucket %d", res.Access, p)
+			}
+		}
+	}
+}
+
+func TestHighLoadFactorLongChains(t *testing.T) {
+	ds, b := build(t, 300, 30)
+	if b.na >= 30 {
+		t.Fatalf("Na = %d, want 10", b.na)
+	}
+	rng := sim.NewRNG(3)
+	var sum float64
+	const reqs = 200
+	for i := 0; i < reqs; i++ {
+		key := ds.KeyAt(rng.Intn(ds.Len()))
+		arrival := sim.Time(rng.Int63n(b.ch.CycleLen()))
+		res, err := access.Walk(b.ch, b.NewClient(key), arrival, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found {
+			t.Fatal("key not found")
+		}
+		sum += float64(res.Probes)
+	}
+	// Average chain ~30, so mean probes must be far above the low-load
+	// case: roughly half a chain.
+	if mean := sum / reqs; mean < 8 {
+		t.Fatalf("mean probes %v with load 30, expected long chain scans", mean)
+	}
+}
+
+func TestExtremeLoadFactorSingleChain(t *testing.T) {
+	// LoadFactor >= Nr collapses to Na = 1: everything in one chain.
+	ds, b := build(t, 50, 1000)
+	if b.na != 1 {
+		t.Fatalf("Na = %d, want 1", b.na)
+	}
+	res, err := access.Walk(b.ch, b.NewClient(ds.KeyAt(49)), 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("key not found in single-chain layout")
+	}
+	res, err = access.Walk(b.ch, b.NewClient(ds.MissingKeyNear(0)), 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("missing key found in single-chain layout")
+	}
+}
+
+func TestLoadFactorOne(t *testing.T) {
+	// Load factor 1: Na = Nr, mostly empty/full positions, some chains.
+	ds, b := build(t, 200, 1)
+	for i := 0; i < ds.Len(); i += 11 {
+		res, err := access.Walk(b.ch, b.NewClient(ds.KeyAt(i)), 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found {
+			t.Fatalf("key %d not found at load 1", ds.KeyAt(i))
+		}
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	for _, lf := range []float64{0, -2, 0.5} {
+		if err := (Options{LoadFactor: lf}).Validate(); err == nil {
+			t.Errorf("LoadFactor %v should be invalid", lf)
+		}
+	}
+	ds := dataset(t, 10)
+	if _, err := Build(ds, Options{LoadFactor: 0}); err == nil {
+		t.Fatal("Build accepted invalid options")
+	}
+}
+
+func TestParamsAccounting(t *testing.T) {
+	_, b := build(t, 300, 3)
+	p := b.Params()
+	if p["Na"] != float64(b.na) || p["records"] != 300 {
+		t.Fatalf("params %v", p)
+	}
+	// Nc + non-empty chain heads = Nr.
+	if int(p["Nc"])+b.na-b.empties != 300 {
+		t.Fatalf("overflow accounting wrong: Nc=%v empties=%d Na=%d", p["Nc"], b.empties, b.na)
+	}
+}

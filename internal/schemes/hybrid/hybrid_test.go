@@ -1,0 +1,211 @@
+package hybrid
+
+import (
+	"testing"
+
+	"github.com/airindex/airindex/internal/access"
+	"github.com/airindex/airindex/internal/datagen"
+	"github.com/airindex/airindex/internal/schemes/dist"
+	"github.com/airindex/airindex/internal/schemes/signature"
+	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/wire"
+)
+
+func dataset(t *testing.T, n int) *datagen.Dataset {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.Default(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func build(t *testing.T, n int) (*datagen.Dataset, *Broadcast) {
+	t.Helper()
+	ds := dataset(t, n)
+	b, err := Build(ds, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, b
+}
+
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{GroupSize: 0, SigBytes: 16, BitsPerField: 8},
+		{GroupSize: 16, SigBytes: 0, BitsPerField: 8},
+		{GroupSize: 16, SigBytes: 2, BitsPerField: 17},
+		{GroupSize: 16, SigBytes: 2, BitsPerField: 0},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("options %d should be invalid", i)
+		}
+	}
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChannelStructure(t *testing.T) {
+	ds, b := build(t, 640)
+	ch := b.Channel()
+	// 640 records in 16-record groups: 40 groups, tree over 40 keys.
+	if b.groups != 40 {
+		t.Fatalf("groups = %d, want 40", b.groups)
+	}
+	if got := ch.CountKind(wire.KindSignature); got != ds.Len() {
+		t.Fatalf("sig buckets = %d, want %d", got, ds.Len())
+	}
+	if got := ch.CountKind(wire.KindData); got != ds.Len() {
+		t.Fatalf("data buckets = %d, want %d", got, ds.Len())
+	}
+	if got := ch.CountKind(wire.KindIndex); got != b.M()*b.Tree().NumNodes() {
+		t.Fatalf("index buckets = %d, want %d copies of %d nodes", got, b.M(), b.Tree().NumNodes())
+	}
+	for i := 0; i < ch.NumBuckets(); i++ {
+		bk := ch.Bucket(i)
+		if len(bk.Encode()) != bk.Size() {
+			t.Fatalf("bucket %d encode/size mismatch", i)
+		}
+	}
+}
+
+func TestFindsEveryKey(t *testing.T) {
+	ds, b := build(t, 500)
+	rng := sim.NewRNG(5)
+	for i := 0; i < ds.Len(); i++ {
+		arrival := sim.Time(rng.Int63n(b.Channel().CycleLen()))
+		res, err := access.Walk(b.Channel(), b.NewClient(ds.KeyAt(i)), arrival, 0)
+		if err != nil {
+			t.Fatalf("key %d: %v", ds.KeyAt(i), err)
+		}
+		if !res.Found {
+			t.Fatalf("key %d not found", ds.KeyAt(i))
+		}
+	}
+}
+
+func TestMissingKeysFailWithinOneGroup(t *testing.T) {
+	ds, b := build(t, 500)
+	k := b.Tree().Levels
+	g := b.opts.GroupSize
+	rng := sim.NewRNG(6)
+	for i := 0; i < ds.Len(); i += 9 {
+		arrival := sim.Time(rng.Int63n(b.Channel().CycleLen()))
+		res, err := access.Walk(b.Channel(), b.NewClient(ds.MissingKeyNear(i)), arrival, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found {
+			t.Fatalf("missing key near %d reported found", i)
+		}
+		// Bounded by first probe + tree descent + one group of signature
+		// reads (plus rare false-drop data reads).
+		if res.Probes > 1+k+2*g {
+			t.Fatalf("missing key took %d probes", res.Probes)
+		}
+	}
+}
+
+func TestOutOfRangeKeyFailsFast(t *testing.T) {
+	ds, b := build(t, 300)
+	res, err := access.Walk(b.Channel(), b.NewClient(ds.MaxKey()+5), 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found || res.Probes > 2 {
+		t.Fatalf("out-of-range key: found=%v probes=%d", res.Found, res.Probes)
+	}
+}
+
+func TestTuningBetweenTreeAndSignature(t *testing.T) {
+	// The hybrid's raison d'être: tuning close to the tree schemes (a
+	// descent plus part of one group), far below simple signature.
+	ds := dataset(t, 2000)
+	hy, err := Build(ds, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := signature.Build(ds, signature.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := dist.Build(ds, dist.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(bc access.Broadcast) float64 {
+		rng := sim.NewRNG(77)
+		var sum float64
+		const n = 500
+		for i := 0; i < n; i++ {
+			key := ds.KeyAt(rng.Intn(ds.Len()))
+			arrival := sim.Time(rng.Int63n(bc.Channel().CycleLen()))
+			res, err := access.Walk(bc.Channel(), bc.NewClient(key), arrival, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += float64(res.Tuning)
+		}
+		return sum / n
+	}
+	hyT, sigT, distT := mean(hy), mean(sig), mean(dt)
+	if hyT >= sigT/10 {
+		t.Fatalf("hybrid tuning %.0f should be >=10x below simple signature %.0f", hyT, sigT)
+	}
+	if hyT >= 4*distT {
+		t.Fatalf("hybrid tuning %.0f should be within 4x of distributed %.0f", hyT, distT)
+	}
+}
+
+func TestIndexOverheadBelowPureTree(t *testing.T) {
+	// One leaf entry per group instead of per record: far fewer index
+	// buckets than (1,m)/distributed at the same m.
+	ds := dataset(t, 2000)
+	hy, err := Build(ds, Options{GroupSize: 16, M: 2, SigBytes: 16, BitsPerField: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := dist.Build(ds, dist.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyIdx := hy.Channel().CountKind(wire.KindIndex)
+	distIdx := dt.Channel().CountKind(wire.KindIndex)
+	if hyIdx*4 > distIdx {
+		t.Fatalf("hybrid index buckets %d should be far below distributed's %d", hyIdx, distIdx)
+	}
+}
+
+func TestGroupSizeOne(t *testing.T) {
+	// Degenerate group size: every record its own group; still correct.
+	ds := dataset(t, 120)
+	b, err := Build(ds, Options{GroupSize: 1, SigBytes: 8, BitsPerField: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds.Len(); i += 5 {
+		res, err := access.Walk(b.Channel(), b.NewClient(ds.KeyAt(i)), 3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found {
+			t.Fatalf("key %d not found with group size 1", ds.KeyAt(i))
+		}
+	}
+}
+
+func TestParams(t *testing.T) {
+	ds, b := build(t, 320)
+	p := b.Params()
+	if p["records"] != float64(ds.Len()) || p["groups"] != 20 || p["group_size"] != 16 {
+		t.Fatalf("params %v", p)
+	}
+	if b.Name() != Name {
+		t.Fatal("name mismatch")
+	}
+	if !b.Contains(ds.KeyAt(1)) || b.Contains(ds.MissingKeyNear(1)) {
+		t.Fatal("Contains wrong")
+	}
+}

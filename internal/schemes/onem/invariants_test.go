@@ -1,0 +1,94 @@
+package onem
+
+import (
+	"testing"
+
+	"github.com/airindex/airindex/internal/btree"
+	"github.com/airindex/airindex/internal/datagen"
+	"github.com/airindex/airindex/internal/schemes/treeidx"
+)
+
+// TestCopyStructure verifies that every index segment is a complete
+// preorder copy of the tree and that data segments partition the records
+// contiguously.
+func TestCopyStructure(t *testing.T) {
+	for _, m := range []int{1, 3, 7} {
+		ds, err := datagen.Generate(datagen.Default(450))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Build(ds, Options{M: m})
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		var preorder []*btree.Node
+		b.Tree().Walk(func(n *btree.Node) { preorder = append(preorder, n) })
+
+		for s, base := range b.copyBase {
+			for off, want := range preorder {
+				if b.nodeOf[base+off] != want {
+					t.Fatalf("m=%d copy %d offset %d: wrong node", m, s, off)
+				}
+			}
+		}
+		// Records appear exactly once, in key order across the cycle.
+		prev := -1
+		count := 0
+		for i := 0; i < b.Channel().NumBuckets(); i++ {
+			if r := b.recOf[i]; r >= 0 {
+				if r != prev+1 {
+					t.Fatalf("m=%d: record order broken at bucket %d (%d after %d)", m, i, r, prev)
+				}
+				prev = r
+				count++
+			}
+		}
+		if count != ds.Len() {
+			t.Fatalf("m=%d: %d data buckets, want %d", m, count, ds.Len())
+		}
+	}
+}
+
+// TestLocalPointersWithinCopy checks that non-leaf local pointers stay
+// inside the same tree copy (preorder, ahead of the parent) and leaf
+// pointers target the entry's unique data bucket.
+func TestLocalPointersWithinCopy(t *testing.T) {
+	ds, err := datagen.Generate(datagen.Default(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(ds, Options{M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := b.Channel()
+	treeLen := b.Tree().NumNodes()
+	for i := 0; i < ch.NumBuckets(); i++ {
+		ib, ok := ch.Bucket(i).(*treeidx.IndexBucket)
+		if !ok {
+			continue
+		}
+		s := b.segOf[i]
+		base := b.copyBase[s]
+		if ib.Node.IsLeaf() {
+			for e, target := range ib.Local {
+				if b.recOf[target] != ib.Node.DataFrom+e {
+					t.Fatalf("leaf bucket %d entry %d targets record %d, want %d",
+						i, e, b.recOf[target], ib.Node.DataFrom+e)
+				}
+			}
+			continue
+		}
+		for j, target := range ib.Local {
+			if target < base || target >= base+treeLen {
+				t.Fatalf("bucket %d local[%d]=%d escapes copy %d [%d,%d)", i, j, target, s, base, base+treeLen)
+			}
+			if target <= i {
+				t.Fatalf("bucket %d local[%d]=%d not ahead in preorder", i, j, target)
+			}
+			if b.nodeOf[target] != ib.Node.Children[j] {
+				t.Fatalf("bucket %d local[%d] holds the wrong child", i, j)
+			}
+		}
+	}
+}

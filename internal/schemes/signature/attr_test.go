@@ -1,0 +1,90 @@
+package signature
+
+import (
+	"testing"
+
+	"github.com/airindex/airindex/internal/access"
+	"github.com/airindex/airindex/internal/sim"
+)
+
+func TestAttrQueryFindsEveryAttribute(t *testing.T) {
+	ds := dataset(t, 250)
+	b, err := Build(ds, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(41)
+	for i := 0; i < ds.Len(); i += 11 {
+		for attr := 0; attr < ds.Config().NumAttributes; attr++ {
+			value := ds.Record(i).Attrs[attr]
+			arrival := sim.Time(rng.Int63n(b.Channel().CycleLen()))
+			res, err := access.Walk(b.Channel(), b.NewAttrClient(attr, value), arrival, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Found {
+				t.Fatalf("record %d attr %d value %q not found", i, attr, value)
+			}
+		}
+	}
+}
+
+func TestAttrQueryMissingValueFails(t *testing.T) {
+	ds := dataset(t, 200)
+	b, err := Build(ds, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := access.Walk(b.Channel(), b.NewAttrClient(0, "no such attribute value anywhere"), 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("nonexistent attribute value reported found")
+	}
+	if res.Probes < ds.Len() {
+		t.Fatalf("failed attr search should scan every signature, probes=%d", res.Probes)
+	}
+}
+
+func TestAttrQueryWrongIndexFails(t *testing.T) {
+	ds := dataset(t, 100)
+	b, err := Build(ds, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The value exists at attr 0, but the query names attr 99: signatures
+	// may match (the field hash is position-independent) but the record
+	// check must reject it.
+	res, err := access.Walk(b.Channel(), b.NewAttrClient(99, ds.Record(3).Attrs[0]), 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("out-of-range attribute index reported found")
+	}
+}
+
+func TestAttrQueryTuningFarBelowFlatScan(t *testing.T) {
+	// The reason signatures exist ([8]): attribute queries cost signature
+	// reads, not record reads.
+	ds := dataset(t, 400)
+	b, err := Build(ds, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	value := ds.Record(300).Attrs[1]
+	res, err := access.Walk(b.Channel(), b.NewAttrClient(1, value), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("value not found")
+	}
+	// Scanning 301 signatures (21 B each) plus the record is far below the
+	// 301 full records a flat scan would read.
+	flatCost := int64(301) * 505
+	if res.Tuning*5 > flatCost {
+		t.Fatalf("attr query tuning %d should be >5x below flat's %d", res.Tuning, flatCost)
+	}
+}

@@ -1,0 +1,147 @@
+package signature
+
+import (
+	"fmt"
+
+	"github.com/airindex/airindex/internal/access"
+	"github.com/airindex/airindex/internal/channel"
+	"github.com/airindex/airindex/internal/datagen"
+	"github.com/airindex/airindex/internal/sim"
+)
+
+// IntegratedName is the integrated scheme's registry name.
+const IntegratedName = "signature-integrated"
+
+// An integrated signature superimposes the signatures of a whole group of
+// consecutive records ([8]). The cycle is [isig(g0), data..., isig(g1),
+// data...]: one group signature bucket before each group of GroupSize data
+// buckets. A non-covering group signature lets the client doze over the
+// entire group; a covering one forces it to scan the group's records.
+
+// IntegratedBroadcast is the integrated-signature cycle.
+type IntegratedBroadcast struct {
+	ds        *datagen.Dataset
+	ch        *channel.Channel
+	opts      Options
+	groupSigs []Sig
+	// bucket metadata, parallel to the channel
+	groupOf  []int // group index for every bucket
+	recordOf []int // record index for data buckets, -1 for signature buckets
+	groups   int
+	// sigStart[g] is the bucket index of group g's signature bucket.
+	sigStart []int
+}
+
+// BuildIntegrated constructs the integrated-signature broadcast.
+func BuildIntegrated(ds *datagen.Dataset, opts Options) (*IntegratedBroadcast, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	b := &IntegratedBroadcast{ds: ds, opts: opts}
+	var buckets []channel.Bucket
+	for from := 0; from < ds.Len(); from += opts.GroupSize {
+		to := from + opts.GroupSize
+		if to > ds.Len() {
+			to = ds.Len()
+		}
+		g := len(b.groupSigs)
+		gsig := make(Sig, opts.GroupSigBytes)
+		for i := from; i < to; i++ {
+			rec := ds.Record(i)
+			fields := make([][]byte, 0, 1+len(rec.Attrs))
+			fields = append(fields, ds.EncodeKey(rec.Key))
+			for _, a := range rec.Attrs {
+				fields = append(fields, []byte(a))
+			}
+			gsig.Superimpose(RecordSig(fields, opts.GroupSigBytes, opts.BitsPerField))
+		}
+		b.groupSigs = append(b.groupSigs, gsig)
+		b.sigStart = append(b.sigStart, len(buckets))
+		buckets = append(buckets, &sigBucket{seq: len(buckets), sig: gsig})
+		b.groupOf = append(b.groupOf, g)
+		b.recordOf = append(b.recordOf, -1)
+		for i := from; i < to; i++ {
+			buckets = append(buckets, &dataBucket{seq: len(buckets), rec: ds.Record(i), ds: ds})
+			b.groupOf = append(b.groupOf, g)
+			b.recordOf = append(b.recordOf, i)
+		}
+	}
+	b.groups = len(b.groupSigs)
+	ch, err := channel.Build(buckets)
+	if err != nil {
+		return nil, fmt.Errorf("signature-integrated: %w", err)
+	}
+	b.ch = ch
+	return b, nil
+}
+
+// Name implements access.Broadcast.
+func (b *IntegratedBroadcast) Name() string { return IntegratedName }
+
+// Channel implements access.Broadcast.
+func (b *IntegratedBroadcast) Channel() *channel.Channel { return b.ch }
+
+// Contains implements access.Broadcast.
+func (b *IntegratedBroadcast) Contains(key uint64) bool {
+	_, ok := b.ds.Find(key)
+	return ok
+}
+
+// Params implements access.Broadcast.
+func (b *IntegratedBroadcast) Params() map[string]float64 {
+	return map[string]float64{
+		"records":         float64(b.ds.Len()),
+		"cycle_bytes":     float64(b.ch.CycleLen()),
+		"groups":          float64(b.groups),
+		"group_size":      float64(b.opts.GroupSize),
+		"group_sig_bytes": float64(b.opts.GroupSigBytes),
+	}
+}
+
+// NewClient implements access.Broadcast.
+func (b *IntegratedBroadcast) NewClient(key uint64) access.Client {
+	return &integratedClient{
+		b:     b,
+		key:   key,
+		query: QuerySig(b.ds.EncodeKey(key), b.opts.GroupSigBytes, b.opts.BitsPerField),
+	}
+}
+
+type integratedClient struct {
+	b       *IntegratedBroadcast
+	key     uint64
+	query   Sig
+	scanned int // group signatures examined
+	inGroup bool
+}
+
+func (c *integratedClient) nextGroupStep(i int, end sim.Time) access.Step {
+	if c.scanned >= c.b.groups {
+		return access.Done(false)
+	}
+	g := (c.b.groupOf[i] + 1) % c.b.groups
+	return access.DozeAt(c.b.sigStart[g], c.b.ch.NextOccurrence(c.b.sigStart[g], end))
+}
+
+func (c *integratedClient) OnBucket(i int, end sim.Time) access.Step {
+	if c.b.recordOf[i] < 0 {
+		// Group signature bucket.
+		c.scanned++
+		c.inGroup = false
+		if c.b.groupSigs[c.b.groupOf[i]].Covers(c.query) {
+			c.inGroup = true
+			return access.Next() // scan the group's records
+		}
+		return c.nextGroupStep(i, end)
+	}
+	// Data bucket inside a group the client is scanning.
+	if c.b.ds.KeyAt(c.b.recordOf[i]) == c.key {
+		return access.Done(true)
+	}
+	// Last record of the group? Move to the next group signature.
+	last := i == c.b.ch.NumBuckets()-1 || c.b.recordOf[(i+1)%c.b.ch.NumBuckets()] < 0
+	if last {
+		return c.nextGroupStep(i, end)
+	}
+	return access.Next()
+}

@@ -1,0 +1,177 @@
+package signature
+
+import (
+	"fmt"
+
+	"github.com/airindex/airindex/internal/access"
+	"github.com/airindex/airindex/internal/channel"
+	"github.com/airindex/airindex/internal/datagen"
+	"github.com/airindex/airindex/internal/sim"
+)
+
+// MultiLevelName is the multi-level scheme's registry name.
+const MultiLevelName = "signature-multilevel"
+
+// The multi-level scheme ([8]) combines both granularities: an integrated
+// signature precedes each group, and a simple record signature still
+// precedes every data bucket. Clients skip whole groups on an integrated
+// mismatch and skip individual records on a record-signature mismatch, at
+// the cost of both overheads in the cycle.
+
+// MultiLevelBroadcast is the two-level signature cycle.
+type MultiLevelBroadcast struct {
+	ds        *datagen.Dataset
+	ch        *channel.Channel
+	opts      Options
+	groupSigs []Sig
+	recSigs   []Sig
+	groups    int
+	groupOf   []int
+	recordOf  []int // record index for record-sig and data buckets, -1 for group sigs
+	isRecSig  []bool
+	sigStart  []int // bucket index of each group's integrated signature
+}
+
+// BuildMultiLevel constructs the multi-level signature broadcast.
+func BuildMultiLevel(ds *datagen.Dataset, opts Options) (*MultiLevelBroadcast, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	b := &MultiLevelBroadcast{ds: ds, opts: opts, recSigs: make([]Sig, ds.Len())}
+	var buckets []channel.Bucket
+	for from := 0; from < ds.Len(); from += opts.GroupSize {
+		to := from + opts.GroupSize
+		if to > ds.Len() {
+			to = ds.Len()
+		}
+		g := len(b.groupSigs)
+		gsig := make(Sig, opts.GroupSigBytes)
+		for i := from; i < to; i++ {
+			rec := ds.Record(i)
+			fields := make([][]byte, 0, 1+len(rec.Attrs))
+			fields = append(fields, ds.EncodeKey(rec.Key))
+			for _, a := range rec.Attrs {
+				fields = append(fields, []byte(a))
+			}
+			b.recSigs[i] = RecordSig(fields, opts.SigBytes, opts.BitsPerField)
+			gsig.Superimpose(RecordSig(fields, opts.GroupSigBytes, opts.BitsPerField))
+		}
+		b.groupSigs = append(b.groupSigs, gsig)
+		b.sigStart = append(b.sigStart, len(buckets))
+		buckets = append(buckets, &sigBucket{seq: len(buckets), sig: gsig})
+		b.groupOf = append(b.groupOf, g)
+		b.recordOf = append(b.recordOf, -1)
+		b.isRecSig = append(b.isRecSig, false)
+		for i := from; i < to; i++ {
+			buckets = append(buckets, &sigBucket{seq: len(buckets), sig: b.recSigs[i]})
+			b.groupOf = append(b.groupOf, g)
+			b.recordOf = append(b.recordOf, i)
+			b.isRecSig = append(b.isRecSig, true)
+
+			buckets = append(buckets, &dataBucket{seq: len(buckets), rec: ds.Record(i), ds: ds})
+			b.groupOf = append(b.groupOf, g)
+			b.recordOf = append(b.recordOf, i)
+			b.isRecSig = append(b.isRecSig, false)
+		}
+	}
+	b.groups = len(b.groupSigs)
+	ch, err := channel.Build(buckets)
+	if err != nil {
+		return nil, fmt.Errorf("signature-multilevel: %w", err)
+	}
+	b.ch = ch
+	return b, nil
+}
+
+// Name implements access.Broadcast.
+func (b *MultiLevelBroadcast) Name() string { return MultiLevelName }
+
+// Channel implements access.Broadcast.
+func (b *MultiLevelBroadcast) Channel() *channel.Channel { return b.ch }
+
+// Contains implements access.Broadcast.
+func (b *MultiLevelBroadcast) Contains(key uint64) bool {
+	_, ok := b.ds.Find(key)
+	return ok
+}
+
+// Params implements access.Broadcast.
+func (b *MultiLevelBroadcast) Params() map[string]float64 {
+	return map[string]float64{
+		"records":         float64(b.ds.Len()),
+		"cycle_bytes":     float64(b.ch.CycleLen()),
+		"groups":          float64(b.groups),
+		"group_size":      float64(b.opts.GroupSize),
+		"sig_bytes":       float64(b.opts.SigBytes),
+		"group_sig_bytes": float64(b.opts.GroupSigBytes),
+	}
+}
+
+// NewClient implements access.Broadcast.
+func (b *MultiLevelBroadcast) NewClient(key uint64) access.Client {
+	return &multiLevelClient{
+		b:      b,
+		key:    key,
+		groupQ: QuerySig(b.ds.EncodeKey(key), b.opts.GroupSigBytes, b.opts.BitsPerField),
+		recQ:   QuerySig(b.ds.EncodeKey(key), b.opts.SigBytes, b.opts.BitsPerField),
+	}
+}
+
+type multiLevelClient struct {
+	b       *MultiLevelBroadcast
+	key     uint64
+	groupQ  Sig
+	recQ    Sig
+	scanned int // integrated signatures examined
+}
+
+func (c *multiLevelClient) nextGroupStep(i int, end sim.Time) access.Step {
+	if c.scanned >= c.b.groups {
+		return access.Done(false)
+	}
+	g := (c.b.groupOf[i] + 1) % c.b.groups
+	return access.DozeAt(c.b.sigStart[g], c.b.ch.NextOccurrence(c.b.sigStart[g], end))
+}
+
+// nextRecSigStep dozes to the record signature after record rec within the
+// same group, or to the next group signature when rec closes the group.
+func (c *multiLevelClient) nextRecSigStep(i int, end sim.Time) access.Step {
+	ch := c.b.ch
+	// The record signature bucket for the following record directly
+	// follows this data bucket unless this record closed its group.
+	next := (i + 1) % ch.NumBuckets()
+	if c.b.recordOf[next] < 0 || c.b.groupOf[next] != c.b.groupOf[i] {
+		return c.nextGroupStep(i, end)
+	}
+	return access.DozeAt(next, ch.NextOccurrence(next, end))
+}
+
+func (c *multiLevelClient) OnBucket(i int, end sim.Time) access.Step {
+	b := c.b
+	if b.recordOf[i] < 0 {
+		// Integrated (group) signature.
+		c.scanned++
+		if b.groupSigs[b.groupOf[i]].Covers(c.groupQ) {
+			return access.Next() // descend into the group's record sigs
+		}
+		return c.nextGroupStep(i, end)
+	}
+	if b.isRecSig[i] {
+		// Record signature within a matched group.
+		if b.recSigs[b.recordOf[i]].Covers(c.recQ) {
+			return access.Next() // download the data bucket
+		}
+		// Doze over the data bucket to the next bucket (record sig or next
+		// group sig).
+		next := (i + 2) % b.ch.NumBuckets()
+		if b.recordOf[next] < 0 {
+			return c.nextGroupStep(i, end)
+		}
+		return access.DozeAt(next, b.ch.NextOccurrence(next, end))
+	}
+	// Data bucket: the request or a false drop.
+	if b.ds.KeyAt(b.recordOf[i]) == c.key {
+		return access.Done(true)
+	}
+	return c.nextRecSigStep(i, end)
+}

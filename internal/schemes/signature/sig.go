@@ -1,0 +1,132 @@
+// Package signature implements signature indexing for wireless broadcast
+// (paper §2.3, after Lee & Lee [8]).
+//
+// A signature is an abstraction of a record: every field (the key and each
+// attribute) is hashed into a sparse random bit string and the strings are
+// superimposed (bitwise OR) into the record signature. A query forms its
+// own signature from the search key; any record whose signature covers the
+// query signature *possibly* matches and must be downloaded to check — a
+// covering signature with a non-matching key is a false drop.
+//
+// Three schemes are provided: the simple scheme the paper evaluates (one
+// signature bucket before every data bucket), plus the integrated and
+// multi-level schemes of [8] as extensions (group signatures that let
+// clients skip whole record groups).
+package signature
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Options configures signature generation and the group-based extensions.
+type Options struct {
+	// SigBytes is the record signature length in bytes (the paper's
+	// tradeoff knob: shorter signatures shrink the cycle but raise the
+	// false-drop rate).
+	SigBytes int
+	// BitsPerField is how many bits each hashed field sets in the
+	// signature (the weight of the superimposed code).
+	BitsPerField int
+	// GroupSize is the number of records per group for the integrated and
+	// multi-level schemes.
+	GroupSize int
+	// GroupSigBytes is the integrated (group) signature length in bytes.
+	GroupSigBytes int
+}
+
+// DefaultOptions returns sensible defaults: 16-byte record signatures with
+// weight 8, and 16-record groups with 32-byte integrated signatures.
+func DefaultOptions() Options {
+	return Options{SigBytes: 16, BitsPerField: 8, GroupSize: 16, GroupSigBytes: 32}
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	switch {
+	case o.SigBytes < 1:
+		return fmt.Errorf("signature: SigBytes %d must be positive", o.SigBytes)
+	case o.BitsPerField < 1:
+		return fmt.Errorf("signature: BitsPerField %d must be positive", o.BitsPerField)
+	case o.BitsPerField > o.SigBytes*8:
+		return fmt.Errorf("signature: BitsPerField %d exceeds signature bits %d", o.BitsPerField, o.SigBytes*8)
+	case o.GroupSize < 1:
+		return fmt.Errorf("signature: GroupSize %d must be positive", o.GroupSize)
+	case o.GroupSigBytes < 1:
+		return fmt.Errorf("signature: GroupSigBytes %d must be positive", o.GroupSigBytes)
+	}
+	return nil
+}
+
+// Sig is a fixed-length superimposed-code signature.
+type Sig []byte
+
+// fieldSig sets weight pseudo-random bits derived from the field bytes in
+// an nbytes-long signature. The bit positions come from a splitmix64
+// sequence seeded by the FNV-64a hash of the field, so generation is
+// deterministic and well spread.
+func fieldSig(field []byte, nbytes, weight int) Sig {
+	s := make(Sig, nbytes)
+	h := fnv.New64a()
+	h.Write(field)
+	state := h.Sum64()
+	bits := uint64(nbytes * 8)
+	for i := 0; i < weight; i++ {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		pos := z % bits
+		s[pos/8] |= 1 << (pos % 8)
+	}
+	return s
+}
+
+// Superimpose ORs other into s in place.
+func (s Sig) Superimpose(other Sig) {
+	for i := range s {
+		s[i] |= other[i]
+	}
+}
+
+// Covers reports whether every bit of q is also set in s — the signature
+// match test. A covering record signature means "possibly the requested
+// record".
+func (s Sig) Covers(q Sig) bool {
+	for i := range s {
+		if s[i]&q[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PopCount returns the number of set bits, used by tests and the
+// false-drop estimate.
+func (s Sig) PopCount() int {
+	n := 0
+	for _, b := range s {
+		for b != 0 {
+			n += int(b & 1)
+			b >>= 1
+		}
+	}
+	return n
+}
+
+// RecordSig builds the signature of a record from its encoded key and
+// attribute fields.
+func RecordSig(fields [][]byte, nbytes, weight int) Sig {
+	s := make(Sig, nbytes)
+	for _, f := range fields {
+		s.Superimpose(fieldSig(f, nbytes, weight))
+	}
+	return s
+}
+
+// QuerySig builds the signature a client generates for a key-equality
+// query: the hash of the key field alone.
+func QuerySig(keyField []byte, nbytes, weight int) Sig {
+	return fieldSig(keyField, nbytes, weight)
+}

@@ -1,0 +1,172 @@
+package signature
+
+import (
+	"fmt"
+
+	"github.com/airindex/airindex/internal/access"
+	"github.com/airindex/airindex/internal/channel"
+	"github.com/airindex/airindex/internal/datagen"
+	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/wire"
+)
+
+// Name is the simple scheme's registry name.
+const Name = "signature"
+
+// sigBucket carries one record signature; it precedes the record's data
+// bucket on the channel.
+type sigBucket struct {
+	seq int
+	sig Sig
+}
+
+func (b *sigBucket) Size() int       { return wire.HeaderSize + len(b.sig) }
+func (b *sigBucket) Kind() wire.Kind { return wire.KindSignature }
+
+func (b *sigBucket) Encode() []byte {
+	w := wire.NewWriter(b.Size())
+	w.Header(wire.Header{Kind: wire.KindSignature, Seq: uint32(b.seq)})
+	w.Raw(b.sig)
+	return w.Bytes()
+}
+
+// dataBucket carries one full record.
+type dataBucket struct {
+	seq int
+	rec datagen.Record
+	ds  *datagen.Dataset
+}
+
+func (b *dataBucket) Size() int       { return wire.HeaderSize + b.ds.Config().RecordSize }
+func (b *dataBucket) Kind() wire.Kind { return wire.KindData }
+
+func (b *dataBucket) Encode() []byte {
+	w := wire.NewWriter(b.Size())
+	w.Header(wire.Header{Kind: wire.KindData, Seq: uint32(b.seq)})
+	w.Raw(b.ds.EncodeKey(b.rec.Key))
+	for _, a := range b.rec.Attrs {
+		w.Raw([]byte(a))
+	}
+	return w.Bytes()
+}
+
+// Broadcast is the simple signature-indexed cycle: sig(0), data(0),
+// sig(1), data(1), ...
+type Broadcast struct {
+	ds   *datagen.Dataset
+	ch   *channel.Channel
+	opts Options
+	sigs []Sig
+}
+
+// Build constructs the simple signature broadcast.
+func Build(ds *datagen.Dataset, opts Options) (*Broadcast, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	sigs := make([]Sig, ds.Len())
+	buckets := make([]channel.Bucket, 0, 2*ds.Len())
+	for i := 0; i < ds.Len(); i++ {
+		rec := ds.Record(i)
+		fields := make([][]byte, 0, 1+len(rec.Attrs))
+		fields = append(fields, ds.EncodeKey(rec.Key))
+		for _, a := range rec.Attrs {
+			fields = append(fields, []byte(a))
+		}
+		sigs[i] = RecordSig(fields, opts.SigBytes, opts.BitsPerField)
+		buckets = append(buckets,
+			&sigBucket{seq: 2 * i, sig: sigs[i]},
+			&dataBucket{seq: 2*i + 1, rec: rec, ds: ds},
+		)
+	}
+	ch, err := channel.Build(buckets)
+	if err != nil {
+		return nil, fmt.Errorf("signature: %w", err)
+	}
+	return &Broadcast{ds: ds, ch: ch, opts: opts, sigs: sigs}, nil
+}
+
+// Name implements access.Broadcast.
+func (b *Broadcast) Name() string { return Name }
+
+// Channel implements access.Broadcast.
+func (b *Broadcast) Channel() *channel.Channel { return b.ch }
+
+// Contains implements access.Broadcast.
+func (b *Broadcast) Contains(key uint64) bool {
+	_, ok := b.ds.Find(key)
+	return ok
+}
+
+// Params implements access.Broadcast.
+func (b *Broadcast) Params() map[string]float64 {
+	return map[string]float64{
+		"records":        float64(b.ds.Len()),
+		"cycle_bytes":    float64(b.ch.CycleLen()),
+		"sig_bytes":      float64(b.opts.SigBytes),
+		"bits_per_field": float64(b.opts.BitsPerField),
+	}
+}
+
+// SigOf exposes record i's signature for tests and the extensions.
+func (b *Broadcast) SigOf(i int) Sig { return b.sigs[i] }
+
+// NewClient implements access.Broadcast: read each signature bucket; on a
+// covering signature read the following data bucket and check the key
+// (false drops keep scanning); doze over data buckets whose signatures do
+// not match.
+func (b *Broadcast) NewClient(key uint64) access.Client {
+	return &client{
+		b:     b,
+		query: QuerySig(b.ds.EncodeKey(key), b.opts.SigBytes, b.opts.BitsPerField),
+		match: func(rec int) bool { return b.ds.KeyAt(rec) == key },
+	}
+}
+
+// NewAttrClient implements access.AttrQuerier: record signatures
+// superimpose every field, so an attribute-equality query runs the same
+// protocol with a query signature hashed from the attribute value instead
+// of the key — the multi-attribute filtering of [8].
+func (b *Broadcast) NewAttrClient(attr int, value string) access.Client {
+	return &client{
+		b:     b,
+		query: QuerySig([]byte(value), b.opts.SigBytes, b.opts.BitsPerField),
+		match: func(rec int) bool {
+			attrs := b.ds.Record(rec).Attrs
+			return attr >= 0 && attr < len(attrs) && attrs[attr] == value
+		},
+	}
+}
+
+type client struct {
+	b       *Broadcast
+	query   Sig
+	match   func(rec int) bool
+	scanned int // signature buckets examined
+}
+
+func (c *client) OnBucket(i int, end sim.Time) access.Step {
+	ch := c.b.ch
+	if i%2 == 0 {
+		// Signature bucket for record i/2.
+		c.scanned++
+		if c.b.sigs[i/2].Covers(c.query) {
+			return access.Next() // download the data bucket that follows
+		}
+		if c.scanned >= c.b.ds.Len() {
+			return access.Done(false)
+		}
+		// Doze over the data bucket to the next signature bucket.
+		next := (i + 2) % ch.NumBuckets()
+		return access.DozeAt(next, ch.NextOccurrence(next, end))
+	}
+	// Data bucket for record i/2: either the request or a false drop.
+	if c.match(i / 2) {
+		return access.Done(true)
+	}
+	if c.scanned >= c.b.ds.Len() {
+		return access.Done(false)
+	}
+	next := (i + 1) % ch.NumBuckets()
+	return access.DozeAt(next, ch.NextOccurrence(next, end))
+}

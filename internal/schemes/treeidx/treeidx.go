@@ -1,0 +1,260 @@
+// Package treeidx holds the machinery shared by the two B+-tree-based
+// wireless indexing schemes, (1,m) indexing and distributed indexing [6]:
+// the uniform bucket layout, the fanout/depth fixpoint, and the index/data
+// bucket wire formats.
+//
+// Both schemes broadcast fixed-size buckets (the paper's analysis measures
+// both index and data buckets in the same Dt units). A data bucket is the
+// common header, the offset to the next index segment, and the record. An
+// index bucket replaces the record payload with the fields of the paper's
+// Figure 2: last broadcast key, offset to the next broadcast cycle, control
+// indices (one per replicated ancestor level) and local indices (up to n
+// key/offset pairs).
+//
+// The fanout n and tree depth k are interdependent — deeper trees need
+// more control slots, which shrink the room for local entries, which
+// lowers n, which deepens the tree — so the layout is computed as a
+// fixpoint. This is also what gives the record/key-ratio experiments
+// (paper §5.2) their bite: big keys crater the fanout.
+package treeidx
+
+import (
+	"fmt"
+
+	"github.com/airindex/airindex/internal/btree"
+	"github.com/airindex/airindex/internal/datagen"
+	"github.com/airindex/airindex/internal/wire"
+)
+
+// Layout describes the uniform bucket geometry for a tree-indexed cycle.
+type Layout struct {
+	// BucketSize is the byte size of every bucket on the channel.
+	BucketSize int
+	// Fanout is n, the number of local index entries per index bucket.
+	Fanout int
+	// Levels is k, the depth of the index tree built at this fanout.
+	Levels int
+	// CtrlSlots is the number of control-index offsets reserved per index
+	// bucket (one per possible replicated ancestor level, k-1).
+	CtrlSlots int
+	// KeySize is the encoded key width.
+	KeySize int
+}
+
+// fixedIndexOverhead is the index bucket's non-entry, non-key byte cost:
+// next-index-segment offset, next-cycle offset, and the two entry counts.
+const fixedIndexOverhead = wire.OffsetSize + wire.OffsetSize + 2 + 2
+
+// entrySize returns the byte cost of one local index entry.
+func entrySize(keySize int) int { return keySize + wire.OffsetSize }
+
+// Compute derives the bucket layout and builds the index tree for a
+// dataset, iterating fanout and depth to their fixpoint.
+func Compute(ds *datagen.Dataset) (Layout, *btree.Tree, error) {
+	cfg := ds.Config()
+	bucketSize := wire.HeaderSize + wire.OffsetSize + cfg.RecordSize
+
+	keys := make([]uint64, ds.Len())
+	for i := range keys {
+		keys[i] = ds.KeyAt(i)
+	}
+
+	levels := 1
+	for iter := 0; ; iter++ {
+		if iter > 64 {
+			return Layout{}, nil, fmt.Errorf("treeidx: layout fixpoint did not converge")
+		}
+		ctrlSlots := levels - 1
+		space := bucketSize - wire.HeaderSize - cfg.KeySize - fixedIndexOverhead - ctrlSlots*wire.OffsetSize
+		fanout := space / entrySize(cfg.KeySize)
+		if fanout < 2 {
+			return Layout{}, nil, fmt.Errorf(
+				"treeidx: key size %d too large for record size %d: index bucket fits %d entries, need 2",
+				cfg.KeySize, cfg.RecordSize, fanout)
+		}
+		tree, err := btree.Build(keys, fanout)
+		if err != nil {
+			return Layout{}, nil, fmt.Errorf("treeidx: %w", err)
+		}
+		if tree.Levels <= levels {
+			return Layout{
+				BucketSize: bucketSize,
+				Fanout:     fanout,
+				Levels:     tree.Levels,
+				CtrlSlots:  ctrlSlots,
+				KeySize:    cfg.KeySize,
+			}, tree, nil
+		}
+		levels = tree.Levels
+	}
+}
+
+// CycleInfo is shared by all buckets of one cycle so wire offsets (byte
+// deltas) can be derived from bucket indices. It is filled in by the
+// builder once the channel length is known.
+type CycleInfo struct {
+	// NumBuckets is the cycle's bucket count.
+	NumBuckets int
+	// BucketSize is the uniform bucket size.
+	BucketSize int
+}
+
+// DeltaBytes returns the on-air byte distance from the END of bucket `from`
+// to the START of bucket `to`, wrapping around the cycle. A bucket pointing
+// at itself means "one full cycle minus my own length ahead".
+func (ci *CycleInfo) DeltaBytes(from, to int) int64 {
+	d := (to - from - 1) % ci.NumBuckets
+	if d < 0 {
+		d += ci.NumBuckets
+	}
+	return int64(d) * int64(ci.BucketSize)
+}
+
+// NoKey is the wire sentinel for "no data broadcast yet this cycle" in the
+// last-broadcast-key field.
+const NoKey = uint64(0)
+
+// IndexBucket is one occurrence of an index node on the channel. The same
+// tree node appears as multiple IndexBucket instances when its level is
+// replicated (distributed indexing) or the whole tree is repeated ((1,m)
+// indexing); each instance carries occurrence-specific offsets.
+type IndexBucket struct {
+	// Seq is the bucket's position in the cycle.
+	Seq int
+	// Node is the tree node this bucket carries.
+	Node *btree.Node
+	// LastKey is the largest data key broadcast before this bucket in the
+	// cycle (the paper's "last broadcast key"), or NoKey.
+	LastKey uint64
+	// NextSeg is the bucket index of the next index segment's first bucket.
+	NextSeg int
+	// Ctrl[l] is the bucket index of the next occurrence of this node's
+	// ancestor at level l (control index). len(Ctrl) == Node.Level.
+	Ctrl []int
+	// Local[j] is the bucket index this node's j-th entry points at: the
+	// next occurrence of child j (internal nodes) or the data bucket of
+	// entry j (leaf index nodes).
+	Local []int
+
+	Layout Layout
+	Info   *CycleInfo
+	DS     *datagen.Dataset
+}
+
+// Size implements channel.Bucket.
+func (b *IndexBucket) Size() int { return b.Layout.BucketSize }
+
+// Kind implements channel.Bucket.
+func (b *IndexBucket) Kind() wire.Kind { return wire.KindIndex }
+
+// Encode implements channel.Bucket, producing the Figure-2 bucket layout.
+func (b *IndexBucket) Encode() []byte {
+	w := wire.NewWriter(b.Layout.BucketSize)
+	w.Header(wire.Header{Kind: wire.KindIndex, Seq: uint32(b.Seq)})
+	w.Offset(b.Info.DeltaBytes(b.Seq, b.NextSeg))
+	w.Raw(datagen.EncodeKeyWidth(b.LastKey, b.Layout.KeySize))
+	w.Offset(b.Info.DeltaBytes(b.Seq, 0)) // next broadcast cycle start
+	w.U16(uint16(len(b.Local)))
+	w.U16(uint16(len(b.Ctrl)))
+	for l := 0; l < b.Layout.CtrlSlots; l++ {
+		if l < len(b.Ctrl) {
+			w.Offset(b.Info.DeltaBytes(b.Seq, b.Ctrl[l]))
+		} else {
+			w.Offset(-1)
+		}
+	}
+	for j := 0; j < b.Layout.Fanout; j++ {
+		if j < len(b.Local) {
+			w.Raw(datagen.EncodeKeyWidth(b.Node.Keys[j], b.Layout.KeySize))
+			w.Offset(b.Info.DeltaBytes(b.Seq, b.Local[j]))
+		} else {
+			w.Pad(entrySize(b.Layout.KeySize))
+		}
+	}
+	w.Pad(b.Layout.BucketSize - w.Len())
+	return w.Bytes()
+}
+
+// DecodedIndex is the client-visible content of an index bucket, used by
+// wire round-trip tests.
+type DecodedIndex struct {
+	Seq       uint32
+	NextSeg   int64
+	LastKey   uint64
+	NextCycle int64
+	Ctrl      []int64
+	Keys      []uint64
+	Local     []int64
+}
+
+// DecodeIndex parses an encoded index bucket.
+func DecodeIndex(p []byte, layout Layout) (DecodedIndex, error) {
+	r := wire.NewReader(p)
+	h := r.Header()
+	var d DecodedIndex
+	if h.Kind != wire.KindIndex {
+		return d, fmt.Errorf("treeidx: bucket kind %v, want index", h.Kind)
+	}
+	d.Seq = h.Seq
+	d.NextSeg = r.Offset()
+	lastKey, err := datagen.DecodeKey(r.Raw(layout.KeySize))
+	if err != nil {
+		return d, err
+	}
+	d.LastKey = lastKey
+	d.NextCycle = r.Offset()
+	numLocal := int(r.U16())
+	numCtrl := int(r.U16())
+	for l := 0; l < layout.CtrlSlots; l++ {
+		v := r.Offset()
+		if l < numCtrl {
+			d.Ctrl = append(d.Ctrl, v)
+		}
+	}
+	for j := 0; j < layout.Fanout; j++ {
+		if j < numLocal {
+			k, err := datagen.DecodeKey(r.Raw(layout.KeySize))
+			if err != nil {
+				return d, err
+			}
+			d.Keys = append(d.Keys, k)
+			d.Local = append(d.Local, r.Offset())
+		} else {
+			r.Skip(entrySize(layout.KeySize))
+		}
+	}
+	return d, r.Err()
+}
+
+// DataBucket is one record on a tree-indexed channel.
+type DataBucket struct {
+	// Seq is the bucket's position in the cycle.
+	Seq int
+	// RecIdx is the dataset record index.
+	RecIdx int
+	// NextSeg is the bucket index of the next index segment's first bucket.
+	NextSeg int
+
+	Layout Layout
+	Info   *CycleInfo
+	DS     *datagen.Dataset
+}
+
+// Size implements channel.Bucket.
+func (b *DataBucket) Size() int { return b.Layout.BucketSize }
+
+// Kind implements channel.Bucket.
+func (b *DataBucket) Kind() wire.Kind { return wire.KindData }
+
+// Encode implements channel.Bucket.
+func (b *DataBucket) Encode() []byte {
+	w := wire.NewWriter(b.Layout.BucketSize)
+	w.Header(wire.Header{Kind: wire.KindData, Seq: uint32(b.Seq)})
+	w.Offset(b.Info.DeltaBytes(b.Seq, b.NextSeg))
+	rec := b.DS.Record(b.RecIdx)
+	w.Raw(b.DS.EncodeKey(rec.Key))
+	for _, a := range rec.Attrs {
+		w.Raw([]byte(a))
+	}
+	return w.Bytes()
+}

@@ -1,0 +1,174 @@
+package treeidx
+
+import (
+	"testing"
+
+	"github.com/airindex/airindex/internal/datagen"
+)
+
+func TestComputeDefaults(t *testing.T) {
+	ds, err := datagen.Generate(datagen.Default(17500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, tree, err := Compute(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout.BucketSize != 13+500 {
+		t.Fatalf("bucket size %d, want 513", layout.BucketSize)
+	}
+	if layout.Fanout < 8 || layout.Fanout > 20 {
+		t.Fatalf("fanout %d outside plausible range for 25-byte keys", layout.Fanout)
+	}
+	if tree.Levels != layout.Levels {
+		t.Fatalf("layout levels %d != tree levels %d", layout.Levels, tree.Levels)
+	}
+	if layout.CtrlSlots < layout.Levels-1 {
+		t.Fatalf("ctrl slots %d cannot hold %d ancestor levels", layout.CtrlSlots, layout.Levels-1)
+	}
+}
+
+func TestComputeFixpointConsistency(t *testing.T) {
+	// The encoded index bucket must actually fit in BucketSize for every
+	// ratio the experiments sweep.
+	for _, keySize := range []int{8, 10, 25, 50, 100} {
+		cfg := datagen.Config{NumRecords: 2000, RecordSize: 500, KeySize: keySize, NumAttributes: 2, Seed: 1}
+		ds, err := datagen.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		layout, tree, err := Compute(ds)
+		if err != nil {
+			t.Fatalf("keySize %d: %v", keySize, err)
+		}
+		used := 5 + 8 + keySize + 8 + 4 + layout.CtrlSlots*8 + layout.Fanout*(keySize+8)
+		if used > layout.BucketSize {
+			t.Fatalf("keySize %d: index layout needs %d bytes, bucket is %d", keySize, used, layout.BucketSize)
+		}
+		if tree.Fanout != layout.Fanout {
+			t.Fatalf("keySize %d: tree fanout %d != layout %d", keySize, tree.Fanout, layout.Fanout)
+		}
+	}
+}
+
+func TestComputeRejectsHugeKeys(t *testing.T) {
+	cfg := datagen.Config{NumRecords: 100, RecordSize: 300, KeySize: 200, NumAttributes: 1, Seed: 1}
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Compute(ds); err == nil {
+		t.Fatal("Compute accepted a key too large for any fanout")
+	}
+}
+
+func TestDeltaBytes(t *testing.T) {
+	ci := &CycleInfo{NumBuckets: 10, BucketSize: 100}
+	cases := []struct {
+		from, to int
+		want     int64
+	}{
+		{0, 1, 0},   // adjacent: zero gap
+		{0, 5, 400}, // four buckets between
+		{5, 0, 400}, // wrap: buckets 6..9
+		{3, 3, 900}, // self: a full cycle minus own size
+		{9, 0, 0},   // last to first
+	}
+	for _, c := range cases {
+		if got := ci.DeltaBytes(c.from, c.to); got != c.want {
+			t.Errorf("DeltaBytes(%d,%d) = %d, want %d", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestIndexBucketEncodeDecodeRoundTrip(t *testing.T) {
+	ds, err := datagen.Generate(datagen.Default(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, tree, err := Compute(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &CycleInfo{NumBuckets: 100, BucketSize: layout.BucketSize}
+	node := tree.ByLevel[1][0]
+	ib := &IndexBucket{
+		Seq:     7,
+		Node:    node,
+		LastKey: ds.KeyAt(3),
+		NextSeg: 20,
+		Ctrl:    []int{15},
+		Local:   make([]int, len(node.Keys)),
+		Layout:  layout,
+		Info:    info,
+		DS:      ds,
+	}
+	for j := range ib.Local {
+		ib.Local[j] = 30 + j
+	}
+	enc := ib.Encode()
+	if len(enc) != layout.BucketSize {
+		t.Fatalf("encoded %d bytes, want %d", len(enc), layout.BucketSize)
+	}
+	d, err := DecodeIndex(enc, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Seq != 7 || d.LastKey != ds.KeyAt(3) {
+		t.Fatalf("decoded seq/lastKey %d/%d", d.Seq, d.LastKey)
+	}
+	if d.NextSeg != info.DeltaBytes(7, 20) {
+		t.Fatalf("NextSeg delta %d", d.NextSeg)
+	}
+	if d.NextCycle != info.DeltaBytes(7, 0) {
+		t.Fatalf("NextCycle delta %d", d.NextCycle)
+	}
+	if len(d.Ctrl) != 1 || d.Ctrl[0] != info.DeltaBytes(7, 15) {
+		t.Fatalf("Ctrl %v", d.Ctrl)
+	}
+	if len(d.Keys) != len(node.Keys) {
+		t.Fatalf("decoded %d entries, want %d", len(d.Keys), len(node.Keys))
+	}
+	for j, k := range node.Keys {
+		if d.Keys[j] != k || d.Local[j] != info.DeltaBytes(7, 30+j) {
+			t.Fatalf("entry %d mismatch", j)
+		}
+	}
+}
+
+func TestDataBucketEncode(t *testing.T) {
+	ds, err := datagen.Generate(datagen.Default(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, _, err := Compute(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &CycleInfo{NumBuckets: 60, BucketSize: layout.BucketSize}
+	db := &DataBucket{Seq: 10, RecIdx: 5, NextSeg: 55, Layout: layout, Info: info, DS: ds}
+	enc := db.Encode()
+	if len(enc) != layout.BucketSize {
+		t.Fatalf("data bucket encoded %d bytes, want %d", len(enc), layout.BucketSize)
+	}
+	if db.Size() != layout.BucketSize {
+		t.Fatal("Size mismatch")
+	}
+}
+
+func TestDecodeIndexRejectsWrongKind(t *testing.T) {
+	ds, err := datagen.Generate(datagen.Default(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, _, err := Compute(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &CycleInfo{NumBuckets: 60, BucketSize: layout.BucketSize}
+	db := &DataBucket{Seq: 0, RecIdx: 0, NextSeg: 1, Layout: layout, Info: info, DS: ds}
+	if _, err := DecodeIndex(db.Encode(), layout); err == nil {
+		t.Fatal("DecodeIndex accepted a data bucket")
+	}
+}

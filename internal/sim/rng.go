@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps the seeded random source shared by a simulation run. All
+// stochastic behaviour in the testbed (request arrival times, key choices,
+// availability draws) flows through a single RNG so that a run is exactly
+// reproducible from its seed.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Exponential draws an exponentially distributed duration with the given
+// mean, rounded up to at least one time unit. The paper's request
+// generation process "follows exponential distribution" (§3).
+func (g *RNG) Exponential(mean float64) Time {
+	if mean <= 0 {
+		return 1
+	}
+	d := g.r.ExpFloat64() * mean
+	if d < 1 {
+		return 1
+	}
+	if d > math.MaxInt64/2 {
+		return Time(math.MaxInt64 / 2)
+	}
+	return Time(d)
+}
+
+// Intn draws a uniform integer in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63n draws a uniform int64 in [0, n).
+func (g *RNG) Int63n(n int64) int64 { return g.r.Int63n(n) }
+
+// Float64 draws a uniform float in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Zipf returns a generator of Zipf-distributed ranks in [0, n) with
+// exponent s > 1 (smaller ranks are hotter). Skewed request workloads use
+// it to model popularity.
+func (g *RNG) Zipf(s float64, n int) func() int {
+	z := rand.NewZipf(g.r, s, 1, uint64(n-1))
+	return func() int { return int(z.Uint64()) }
+}

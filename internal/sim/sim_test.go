@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunFiresInTimeOrder(t *testing.T) {
+	s := New()
+	var got []Time
+	for _, at := range []Time{50, 10, 30, 20, 40} {
+		at := at
+		s.At(at, func(s *Simulator) { got = append(got, s.Now()) })
+	}
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+}
+
+func TestTieBreakIsInsertionOrder(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(7, func(*Simulator) { got = append(got, i) })
+	}
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break order %v, want insertion order", got)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	s := New()
+	var fired Time = -1
+	s.At(100, func(s *Simulator) {
+		s.After(25, func(s *Simulator) { fired = s.Now() })
+	})
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != 125 {
+		t.Fatalf("relative event fired at %d, want 125", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(10, func(s *Simulator) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(5, func(*Simulator) {})
+	})
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After delay did not panic")
+		}
+	}()
+	s.After(-1, func(*Simulator) {})
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	s := New()
+	fired := false
+	ev := s.At(10, func(*Simulator) { fired = true })
+	s.Cancel(ev)
+	s.Cancel(ev) // double-cancel is a no-op
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelNilIsNoop(t *testing.T) {
+	s := New()
+	s.Cancel(nil)
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestStopReturnsErrStopped(t *testing.T) {
+	s := New()
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		s.At(i, func(s *Simulator) {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	if err := s.Run(0); err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if count != 3 {
+		t.Fatalf("fired %d events before stop, want 3", count)
+	}
+	// Run again resumes with the remaining events.
+	if err := s.Run(0); err != nil {
+		t.Fatalf("resume Run: %v", err)
+	}
+	if count != 10 {
+		t.Fatalf("fired %d total events, want 10", count)
+	}
+}
+
+func TestEventBudget(t *testing.T) {
+	s := New()
+	var reschedule func(*Simulator)
+	reschedule = func(s *Simulator) { s.After(1, reschedule) }
+	s.At(0, reschedule)
+	if err := s.Run(100); err == nil {
+		t.Fatal("Run with runaway self-scheduling returned nil, want budget error")
+	}
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	s := New()
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		s.At(at, func(s *Simulator) { fired = append(fired, s.Now()) })
+	}
+	s.RunUntil(12)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(12) fired %d events, want 2", len(fired))
+	}
+	if s.Now() != 12 {
+		t.Fatalf("clock at %d after RunUntil(12), want 12", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("%d events pending, want 2", s.Pending())
+	}
+}
+
+func TestProcessedCounts(t *testing.T) {
+	s := New()
+	for i := Time(0); i < 7; i++ {
+		s.At(i, func(*Simulator) {})
+	}
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Processed != 7 {
+		t.Fatalf("Processed = %d, want 7", s.Processed)
+	}
+}
+
+// Property: for any set of (non-negative) firing times, Run visits them in
+// nondecreasing order and fires exactly one event per scheduled time.
+func TestQuickEventOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := New()
+		var got []Time
+		for _, r := range raw {
+			at := Time(r)
+			s.At(at, func(s *Simulator) { got = append(got, s.Now()) })
+		}
+		if err := s.Run(0); err != nil {
+			return false
+		}
+		if len(got) != len(raw) {
+			return false
+		}
+		want := make([]Time, len(raw))
+		for i, r := range raw {
+			want[i] = Time(r)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	g := NewRNG(42)
+	const mean = 1000.0
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(g.Exponential(mean))
+	}
+	got := sum / n
+	if math.Abs(got-mean)/mean > 0.02 {
+		t.Fatalf("exponential sample mean %.1f, want within 2%% of %.1f", got, mean)
+	}
+}
+
+func TestExponentialAlwaysPositive(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		if d := g.Exponential(0.001); d < 1 {
+			t.Fatalf("Exponential returned %d < 1", d)
+		}
+	}
+	if d := g.Exponential(-5); d != 1 {
+		t.Fatalf("Exponential with nonpositive mean = %d, want 1", d)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(99), NewRNG(99)
+	for i := 0; i < 1000; i++ {
+		if a.Exponential(500) != b.Exponential(500) || a.Intn(1000) != b.Intn(1000) {
+			t.Fatal("same seed produced diverging streams")
+		}
+	}
+}

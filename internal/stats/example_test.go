@@ -1,0 +1,32 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"github.com/airindex/airindex/internal/stats"
+)
+
+// The paper's stopping rule: a run may end once the confidence-interval
+// half-width H over the sample mean Y falls at or below the requested
+// accuracy at the requested confidence level.
+func ExampleSample_Converged() {
+	var s stats.Sample
+	for i := 0; i < 10000; i++ {
+		s.Add(500 + float64(i%7)) // tightly clustered observations
+	}
+	acc, _ := s.Accuracy(0.99)
+	fmt.Printf("n=%d mean=%.1f accuracy=%.5f converged(1%%)=%v\n",
+		s.N(), s.Mean(), acc, s.Converged(0.99, 0.01))
+	// Output:
+	// n=10000 mean=503.0 accuracy=0.00010 converged(1%)=true
+}
+
+// Student-t critical values drive the half-width; at 0.99 confidence with
+// many samples they approach the normal 2.576.
+func ExampleTQuantile() {
+	fmt.Printf("t(0.995, df=10)  = %.3f\n", stats.TQuantile(0.995, 10))
+	fmt.Printf("t(0.995, df=1e6) = %.3f\n", stats.TQuantile(0.995, 1e6))
+	// Output:
+	// t(0.995, df=10)  = 3.169
+	// t(0.995, df=1e6) = 2.576
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func exactQuantile(xs []float64, p float64) float64 {
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	idx := int(p * float64(len(tmp)))
+	if idx >= len(tmp) {
+		idx = len(tmp) - 1
+	}
+	return tmp[idx]
+}
+
+func TestQuantileRejectsBadP(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := NewQuantile(p); err == nil {
+			t.Errorf("p=%v accepted", p)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustQuantile(0) did not panic")
+		}
+	}()
+	MustQuantile(0)
+}
+
+func TestQuantileSmallSamples(t *testing.T) {
+	q := MustQuantile(0.5)
+	if q.Value() != 0 {
+		t.Fatal("empty estimator should report 0")
+	}
+	q.Add(10)
+	if q.Value() != 10 {
+		t.Fatalf("one observation: %v", q.Value())
+	}
+	q.Add(20)
+	q.Add(30)
+	v := q.Value()
+	if v < 10 || v > 30 {
+		t.Fatalf("three observations: median estimate %v", v)
+	}
+	if q.N() != 3 {
+		t.Fatalf("N = %d", q.N())
+	}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, p := range []float64{0.5, 0.9, 0.95, 0.99} {
+		q := MustQuantile(p)
+		var xs []float64
+		for i := 0; i < 50000; i++ {
+			x := rng.Float64() * 1000
+			xs = append(xs, x)
+			q.Add(x)
+		}
+		want := exactQuantile(xs, p)
+		got := q.Value()
+		if math.Abs(got-want) > 12 { // 1.2% of the range
+			t.Errorf("p=%v: estimate %v vs exact %v", p, got, want)
+		}
+	}
+}
+
+func TestQuantileNormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	q := MustQuantile(0.95)
+	var xs []float64
+	for i := 0; i < 80000; i++ {
+		x := rng.NormFloat64()*50 + 500
+		xs = append(xs, x)
+		q.Add(x)
+	}
+	want := exactQuantile(xs, 0.95)
+	if got := q.Value(); math.Abs(got-want)/want > 0.02 {
+		t.Errorf("normal p95: %v vs %v", got, want)
+	}
+}
+
+func TestQuantileBimodalAndConstants(t *testing.T) {
+	// Constants: the estimate is the constant.
+	q := MustQuantile(0.9)
+	for i := 0; i < 1000; i++ {
+		q.Add(42)
+	}
+	if q.Value() != 42 {
+		t.Fatalf("constant stream: %v", q.Value())
+	}
+	// Bimodal: p50 lands in or between the modes.
+	rng := rand.New(rand.NewSource(3))
+	q2 := MustQuantile(0.5)
+	for i := 0; i < 40000; i++ {
+		if rng.Intn(2) == 0 {
+			q2.Add(10 + rng.Float64())
+		} else {
+			q2.Add(1000 + rng.Float64())
+		}
+	}
+	v := q2.Value()
+	if v < 10 || v > 1001 {
+		t.Fatalf("bimodal median %v outside data range", v)
+	}
+}
+
+func TestQuantileMonotoneAcrossP(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ps := []float64{0.1, 0.5, 0.9, 0.99}
+	var qs []*Quantile
+	for _, p := range ps {
+		qs = append(qs, MustQuantile(p))
+	}
+	for i := 0; i < 30000; i++ {
+		x := rng.ExpFloat64() * 100
+		for _, q := range qs {
+			q.Add(x)
+		}
+	}
+	for i := 1; i < len(qs); i++ {
+		if qs[i].Value() < qs[i-1].Value() {
+			t.Fatalf("quantile estimates not monotone: p%v=%v < p%v=%v",
+				ps[i], qs[i].Value(), ps[i-1], qs[i-1].Value())
+		}
+	}
+}

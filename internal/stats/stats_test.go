@@ -1,0 +1,265 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d, want 8", s.N())
+	}
+	if !almost(s.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	// Unbiased variance of that classic dataset is 32/7.
+	if !almost(s.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", s.Variance(), 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestSampleEmptyAndSingle(t *testing.T) {
+	var s Sample
+	if s.Variance() != 0 || s.StdErr() != 0 || s.HalfWidth(0.99) != 0 {
+		t.Fatal("empty sample should report zero spread")
+	}
+	if _, ok := s.Accuracy(0.99); ok {
+		t.Fatal("accuracy of empty sample should be undefined")
+	}
+	s.Add(3)
+	if s.Variance() != 0 {
+		t.Fatal("single observation should have zero variance")
+	}
+	if s.Converged(0.99, 0.01) {
+		t.Fatal("single observation must not count as converged")
+	}
+}
+
+func TestSampleMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var whole, a, b Sample
+	for i := 0; i < 5000; i++ {
+		x := rng.NormFloat64()*10 + 100
+		whole.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if !almost(a.Mean(), whole.Mean(), 1e-9) {
+		t.Fatalf("merged mean %v, want %v", a.Mean(), whole.Mean())
+	}
+	if !almost(a.Variance(), whole.Variance(), 1e-6) {
+		t.Fatalf("merged variance %v, want %v", a.Variance(), whole.Variance())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatal("merged min/max mismatch")
+	}
+}
+
+func TestMergeEmptyCases(t *testing.T) {
+	var empty, s Sample
+	s.Add(1)
+	s.Add(2)
+	before := s
+	s.Merge(&empty)
+	if s != before {
+		t.Fatal("merging an empty sample changed the receiver")
+	}
+	empty.Merge(&s)
+	if empty.N() != 2 || !almost(empty.Mean(), 1.5, 1e-12) {
+		t.Fatal("merging into an empty sample should copy")
+	}
+}
+
+// Property: merging any split of a sequence equals accumulating the whole
+// sequence (within floating tolerance).
+func TestQuickMergeAssociativity(t *testing.T) {
+	f := func(xs []float64, cut uint8) bool {
+		// Constrain to finite, moderate values.
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			clean = append(clean, math.Mod(x, 1e6))
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		k := int(cut) % len(clean)
+		var whole, a, b Sample
+		for _, x := range clean {
+			whole.Add(x)
+		}
+		for _, x := range clean[:k] {
+			a.Add(x)
+		}
+		for _, x := range clean[k:] {
+			b.Add(x)
+		}
+		a.Merge(&b)
+		return a.N() == whole.N() &&
+			almost(a.Mean(), whole.Mean(), 1e-6*(1+math.Abs(whole.Mean()))) &&
+			almost(a.Variance(), whole.Variance(), 1e-5*(1+whole.Variance()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Published two-sided critical values for Student's t.
+func TestTQuantileAgainstTables(t *testing.T) {
+	cases := []struct {
+		p, df, want float64
+	}{
+		{0.975, 1, 12.7062},
+		{0.975, 5, 2.5706},
+		{0.975, 10, 2.2281},
+		{0.975, 30, 2.0423},
+		{0.995, 1, 63.6567},
+		{0.995, 5, 4.0321},
+		{0.995, 10, 3.1693},
+		{0.995, 30, 2.7500},
+		{0.995, 100, 2.6259},
+		{0.95, 10, 1.8125},
+		{0.90, 20, 1.3253},
+	}
+	for _, c := range cases {
+		got := TQuantile(c.p, c.df)
+		if !almost(got, c.want, 5e-4*c.want+5e-4) {
+			t.Errorf("TQuantile(%v, %v) = %.5f, want %.4f", c.p, c.df, got, c.want)
+		}
+	}
+}
+
+func TestTCDFRoundTrip(t *testing.T) {
+	for _, df := range []float64{1, 2, 7, 29, 499, 10000} {
+		for _, p := range []float64{0.6, 0.75, 0.9, 0.975, 0.995, 0.9999} {
+			q := TQuantile(p, df)
+			back := TCDF(q, df)
+			if !almost(back, p, 1e-9) {
+				t.Errorf("TCDF(TQuantile(%v, df=%v)) = %v", p, df, back)
+			}
+		}
+	}
+}
+
+func TestTQuantileSymmetry(t *testing.T) {
+	for _, df := range []float64{3, 12, 60} {
+		for _, p := range []float64{0.6, 0.8, 0.99} {
+			if !almost(TQuantile(p, df), -TQuantile(1-p, df), 1e-9) {
+				t.Errorf("quantile not symmetric at p=%v df=%v", p, df)
+			}
+		}
+	}
+	if TQuantile(0.5, 10) != 0 {
+		t.Error("median of t distribution should be 0")
+	}
+}
+
+func TestTApproachesNormal(t *testing.T) {
+	// For large df the t distribution converges to the standard normal.
+	for _, p := range []float64{0.9, 0.975, 0.995} {
+		tq := TQuantile(p, 1e6)
+		// Invert the normal CDF by bisection for the reference value.
+		lo, hi := 0.0, 10.0
+		for i := 0; i < 100; i++ {
+			mid := (lo + hi) / 2
+			if NormalCDF(mid) < p {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		if !almost(tq, (lo+hi)/2, 1e-3) {
+			t.Errorf("t(df=1e6) quantile %v far from normal %v at p=%v", tq, (lo+hi)/2, p)
+		}
+	}
+}
+
+func TestTInvalidInputs(t *testing.T) {
+	for _, v := range []float64{TQuantile(0, 5), TQuantile(1, 5), TQuantile(0.9, 0), TCDF(1, -1)} {
+		if !math.IsNaN(v) {
+			t.Errorf("invalid input returned %v, want NaN", v)
+		}
+	}
+}
+
+func TestRegIncBetaEdges(t *testing.T) {
+	if regIncBeta(2, 3, 0) != 0 || regIncBeta(2, 3, 1) != 1 {
+		t.Fatal("incomplete beta edge values wrong")
+	}
+	// I_x(1,1) is the identity.
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if !almost(regIncBeta(1, 1, x), x, 1e-12) {
+			t.Errorf("I_%v(1,1) = %v", x, regIncBeta(1, 1, x))
+		}
+	}
+	// I_x(a,b) + I_{1-x}(b,a) == 1.
+	for _, x := range []float64{0.2, 0.35, 0.8} {
+		s := regIncBeta(3.5, 1.25, x) + regIncBeta(1.25, 3.5, 1-x)
+		if !almost(s, 1, 1e-10) {
+			t.Errorf("symmetry violated at x=%v: %v", x, s)
+		}
+	}
+}
+
+func TestConvergedStoppingRule(t *testing.T) {
+	// A tight sample converges; a loose one does not.
+	var tight Sample
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		tight.Add(1000 + rng.NormFloat64())
+	}
+	if !tight.Converged(0.99, 0.01) {
+		acc, _ := tight.Accuracy(0.99)
+		t.Fatalf("tight sample should converge (accuracy %v)", acc)
+	}
+	var loose Sample
+	loose.Add(1)
+	loose.Add(1000)
+	loose.Add(2000)
+	if loose.Converged(0.99, 0.01) {
+		t.Fatal("loose 3-observation sample must not converge at 1%")
+	}
+	var constant Sample
+	for i := 0; i < 5; i++ {
+		constant.Add(42)
+	}
+	if !constant.Converged(0.99, 0.01) {
+		t.Fatal("constant sample should count as converged")
+	}
+}
+
+func TestHalfWidthShrinksWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var s Sample
+	var prev float64 = math.Inf(1)
+	for _, n := range []int{100, 1000, 10000} {
+		for s.N() < int64(n) {
+			s.Add(50 + 5*rng.NormFloat64())
+		}
+		h := s.HalfWidth(0.99)
+		if h >= prev {
+			t.Fatalf("half-width did not shrink: %v -> %v at n=%d", prev, h, n)
+		}
+		prev = h
+	}
+}

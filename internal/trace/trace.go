@@ -1,0 +1,116 @@
+// Package trace records the probe-by-probe behaviour of an access
+// protocol: every tune-in a client makes, what bucket it read, how long it
+// dozed, and the running access/tuning accounting. Traces drive the
+// step-level protocol tests and cmd/airtrace's walkthrough output; they
+// are also the easiest way to understand *why* a scheme has the tuning
+// time it has.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/airindex/airindex/internal/access"
+	"github.com/airindex/airindex/internal/channel"
+	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/wire"
+)
+
+// Probe is one active-mode bucket read.
+type Probe struct {
+	// Index is the bucket's position within the broadcast cycle.
+	Index int
+	// Kind is the bucket's role.
+	Kind wire.Kind
+	// Start and End are the absolute byte-times of the read.
+	Start, End sim.Time
+	// Dozed is how long the client slept before this read (0 for
+	// consecutive reads).
+	Dozed sim.Time
+	// Bytes is the bucket size (the read's tuning cost).
+	Bytes int64
+}
+
+// Trace is a full query walkthrough.
+type Trace struct {
+	// Key is the requested key.
+	Key uint64
+	// Arrival is the request time.
+	Arrival sim.Time
+	// Probes are the client's bucket reads in order.
+	Probes []Probe
+	// Result is the final accounting, identical to access.Walk's.
+	Result access.Result
+}
+
+// recorder wraps a client and observes the runner's callbacks.
+type recorder struct {
+	inner access.Client
+	ch    *channel.Channel
+	tr    *Trace
+	last  sim.Time // end of the previous read; arrival before the first
+}
+
+func (r *recorder) OnBucket(i int, end sim.Time) access.Step {
+	size := r.ch.SizeOf(i)
+	start := end - sim.Time(size)
+	dozed := start - r.last
+	if dozed < 0 {
+		dozed = 0
+	}
+	r.tr.Probes = append(r.tr.Probes, Probe{
+		Index: i,
+		Kind:  r.ch.Bucket(i).Kind(),
+		Start: start,
+		End:   end,
+		Dozed: dozed,
+		Bytes: size,
+	})
+	r.last = end
+	return r.inner.OnBucket(i, end)
+}
+
+// Run executes one traced query against a broadcast.
+func Run(bc access.Broadcast, key uint64, arrival sim.Time) (*Trace, error) {
+	tr := &Trace{Key: key, Arrival: arrival}
+	rec := &recorder{inner: bc.NewClient(key), ch: bc.Channel(), tr: tr, last: arrival}
+	res, err := access.Walk(bc.Channel(), rec, arrival, 0)
+	if err != nil {
+		return nil, err
+	}
+	tr.Result = res
+	return tr, nil
+}
+
+// DozeTotal returns the total time spent dozing.
+func (t *Trace) DozeTotal() sim.Time {
+	var d sim.Time
+	for _, p := range t.Probes {
+		d += p.Dozed
+	}
+	return d
+}
+
+// Write renders the walkthrough as a readable transcript.
+func (t *Trace) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "query key=%d arrival=%d\n", t.Key, t.Arrival); err != nil {
+		return err
+	}
+	for n, p := range t.Probes {
+		var doze string
+		if p.Dozed > 0 {
+			doze = fmt.Sprintf("doze %8d bytes, then ", int64(p.Dozed))
+		} else {
+			doze = strings.Repeat(" ", 26)
+		}
+		if _, err := fmt.Fprintf(w, "  probe %2d: %sread bucket %6d (%-9s %4dB) at t=%d\n",
+			n+1, doze, p.Index, p.Kind, p.Bytes, int64(p.Start)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "  => found=%v access=%d tuning=%d probes=%d (dozed %.3f%% of the wait)\n",
+		t.Result.Found, t.Result.Access, t.Result.Tuning, t.Result.Probes,
+		100*float64(t.DozeTotal())/float64(t.Result.Access))
+	return err
+}

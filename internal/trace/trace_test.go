@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/airindex/airindex/internal/access"
+	"github.com/airindex/airindex/internal/datagen"
+	"github.com/airindex/airindex/internal/schemes/dist"
+	"github.com/airindex/airindex/internal/schemes/flat"
+	"github.com/airindex/airindex/internal/sim"
+)
+
+func dataset(t *testing.T, n int) *datagen.Dataset {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.Default(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestTraceMatchesWalkAccounting(t *testing.T) {
+	ds := dataset(t, 500)
+	bc, err := dist.Build(ds, dist.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(3)
+	for i := 0; i < 100; i++ {
+		key := ds.KeyAt(rng.Intn(ds.Len()))
+		arrival := sim.Time(rng.Int63n(bc.Channel().CycleLen()))
+		tr, err := Run(bc, key, arrival)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := access.Walk(bc.Channel(), bc.NewClient(key), arrival, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Result != plain {
+			t.Fatalf("traced result %+v != plain walk %+v", tr.Result, plain)
+		}
+		if len(tr.Probes) != plain.Probes {
+			t.Fatalf("recorded %d probes, result says %d", len(tr.Probes), plain.Probes)
+		}
+	}
+}
+
+func TestTraceAccountingIdentities(t *testing.T) {
+	ds := dataset(t, 300)
+	bc, err := dist.Build(ds, dist.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Run(bc, ds.KeyAt(250), 7777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tuned int64
+	for i, p := range tr.Probes {
+		tuned += p.Bytes
+		if p.End-p.Start != sim.Time(p.Bytes) {
+			t.Fatalf("probe %d: duration != size", i)
+		}
+		if i > 0 && p.Start < tr.Probes[i-1].End {
+			t.Fatalf("probe %d overlaps previous", i)
+		}
+	}
+	if tuned != tr.Result.Tuning {
+		t.Fatalf("probe bytes %d != tuning %d", tuned, tr.Result.Tuning)
+	}
+	// initial wait + sum(dozed) + sum(read) == access
+	initial := tr.Probes[0].Start - tr.Arrival - tr.Probes[0].Dozed
+	if initial != 0 {
+		// The first probe's doze includes the initial wait by construction.
+		t.Fatalf("initial wait double-counted: %d", initial)
+	}
+	if int64(tr.DozeTotal())+tuned != tr.Result.Access {
+		t.Fatalf("doze %d + tune %d != access %d", tr.DozeTotal(), tuned, tr.Result.Access)
+	}
+}
+
+func TestTraceFlatNeverDozes(t *testing.T) {
+	ds := dataset(t, 100)
+	bc, err := flat.Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Run(bc, ds.KeyAt(50), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range tr.Probes {
+		if i > 0 && p.Dozed != 0 {
+			t.Fatalf("flat client dozed %d before probe %d", p.Dozed, i)
+		}
+	}
+}
+
+func TestTraceWriteTranscript(t *testing.T) {
+	ds := dataset(t, 200)
+	bc, err := dist.Build(ds, dist.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Run(bc, ds.KeyAt(123), 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"query key=", "probe  1", "=> found=true", "doze"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("transcript missing %q:\n%s", want, out)
+		}
+	}
+}

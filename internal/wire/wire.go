@@ -1,0 +1,206 @@
+// Package wire defines the byte-level bucket encoding shared by every
+// access method in the testbed.
+//
+// Buckets are the unit of broadcast (paper §3: "Broadcast data items are
+// reorganized as buckets to put in broadcast channel"). Each scheme defines
+// its own bucket layouts on top of the common header here; timing in the
+// simulator is driven by encoded byte sizes, and every scheme's tests
+// assert that its declared bucket Size() equals the length its encoder
+// actually produces, so the measured access/tuning times correspond to real
+// bytes on the air.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Kind tags a bucket with its role on the channel.
+type Kind uint8
+
+// Bucket kinds across all schemes.
+const (
+	KindData Kind = iota + 1
+	KindIndex
+	KindSignature
+	KindHash
+)
+
+// String returns a human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindIndex:
+		return "index"
+	case KindSignature:
+		return "signature"
+	case KindHash:
+		return "hash"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// HeaderSize is the byte size of the common bucket header: kind (1 byte)
+// plus the bucket's sequence number within the broadcast cycle (4 bytes).
+const HeaderSize = 1 + 4
+
+// OffsetSize is the byte width of a time-offset field. Offsets in wireless
+// broadcast are arrival-time deltas in bytes (paper §2.1); 8 bytes covers
+// any cycle length the testbed can represent.
+const OffsetSize = 8
+
+// Header is the common prefix of every bucket.
+type Header struct {
+	Kind Kind
+	Seq  uint32 // position of this bucket within the cycle
+}
+
+// Writer serializes bucket fields into a byte slice, tracking position.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a writer pre-allocating n bytes.
+func NewWriter(n int) *Writer { return &Writer{buf: make([]byte, 0, n)} }
+
+// Bytes returns the encoded bytes.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Header writes the common bucket header.
+func (w *Writer) Header(h Header) {
+	w.buf = append(w.buf, byte(h.Kind))
+	w.buf = binary.BigEndian.AppendUint32(w.buf, h.Seq)
+}
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U16 writes a big-endian 16-bit value.
+func (w *Writer) U16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+
+// U32 writes a big-endian 32-bit value.
+func (w *Writer) U32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+
+// U64 writes a big-endian 64-bit value.
+func (w *Writer) U64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+
+// Offset writes a time offset (OffsetSize bytes). Negative values encode
+// "no target" as the all-ones pattern.
+func (w *Writer) Offset(v int64) {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(v))
+}
+
+// Raw writes bytes verbatim.
+func (w *Writer) Raw(p []byte) { w.buf = append(w.buf, p...) }
+
+// Pad writes n zero bytes (bucket slack so fixed-size layouts stay fixed).
+func (w *Writer) Pad(n int) {
+	for i := 0; i < n; i++ {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// Reader parses bucket fields from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+// NewReader wraps an encoded bucket.
+func NewReader(p []byte) *Reader { return &Reader{buf: p} }
+
+// Err returns the first decode error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the unread byte count.
+func (r *Reader) Remaining() int { return len(r.buf) - r.pos }
+
+func (r *Reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.pos+n > len(r.buf) {
+		r.err = fmt.Errorf("wire: truncated bucket: need %d bytes at %d of %d", n, r.pos, len(r.buf))
+		return false
+	}
+	return true
+}
+
+// Header reads the common bucket header.
+func (r *Reader) Header() Header {
+	if !r.need(HeaderSize) {
+		return Header{}
+	}
+	h := Header{Kind: Kind(r.buf[r.pos]), Seq: binary.BigEndian.Uint32(r.buf[r.pos+1:])}
+	r.pos += HeaderSize
+	return h
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.buf[r.pos]
+	r.pos++
+	return v
+}
+
+// U16 reads a big-endian 16-bit value.
+func (r *Reader) U16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.pos:])
+	r.pos += 2
+	return v
+}
+
+// U32 reads a big-endian 32-bit value.
+func (r *Reader) U32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.pos:])
+	r.pos += 4
+	return v
+}
+
+// U64 reads a big-endian 64-bit value.
+func (r *Reader) U64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.pos:])
+	r.pos += 8
+	return v
+}
+
+// Offset reads a time offset written by Writer.Offset.
+func (r *Reader) Offset() int64 { return int64(r.U64()) }
+
+// Raw reads n bytes verbatim.
+func (r *Reader) Raw(n int) []byte {
+	if n < 0 || !r.need(n) {
+		if r.err == nil {
+			r.err = fmt.Errorf("wire: invalid raw length %d", n)
+		}
+		return nil
+	}
+	v := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return v
+}
+
+// Skip advances past n padding bytes.
+func (r *Reader) Skip(n int) {
+	if r.need(n) {
+		r.pos += n
+	}
+}

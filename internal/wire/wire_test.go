@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	w := NewWriter(HeaderSize)
+	w.Header(Header{Kind: KindIndex, Seq: 123456})
+	if w.Len() != HeaderSize {
+		t.Fatalf("header encoded to %d bytes, want %d", w.Len(), HeaderSize)
+	}
+	r := NewReader(w.Bytes())
+	h := r.Header()
+	if h.Kind != KindIndex || h.Seq != 123456 {
+		t.Fatalf("decoded header %+v", h)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestFieldRoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	w.U8(7)
+	w.U16(300)
+	w.U32(70000)
+	w.U64(1 << 40)
+	w.Offset(-1)
+	w.Offset(987654321)
+	w.Raw([]byte("hello"))
+	w.Pad(3)
+
+	r := NewReader(w.Bytes())
+	if r.U8() != 7 || r.U16() != 300 || r.U32() != 70000 || r.U64() != 1<<40 {
+		t.Fatal("numeric round trip failed")
+	}
+	if r.Offset() != -1 || r.Offset() != 987654321 {
+		t.Fatal("offset round trip failed")
+	}
+	if string(r.Raw(5)) != "hello" {
+		t.Fatal("raw round trip failed")
+	}
+	r.Skip(3)
+	if r.Remaining() != 0 {
+		t.Fatalf("remaining %d, want 0", r.Remaining())
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestTruncatedReads(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.U32()
+	if r.Err() == nil {
+		t.Fatal("reading past the end should set an error")
+	}
+	// Subsequent reads stay in the error state and return zeros.
+	if r.U8() != 0 || r.Err() == nil {
+		t.Fatal("error state not sticky")
+	}
+}
+
+func TestRawNegativeLength(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	if r.Raw(-1) != nil || r.Err() == nil {
+		t.Fatal("negative raw length should error")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindData:      "data",
+		KindIndex:     "index",
+		KindSignature: "signature",
+		KindHash:      "hash",
+		Kind(99):      "kind(99)",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestQuickU64RoundTrip(t *testing.T) {
+	f := func(vs []uint64) bool {
+		w := NewWriter(len(vs) * 8)
+		for _, v := range vs {
+			w.U64(v)
+		}
+		if w.Len() != len(vs)*8 {
+			return false
+		}
+		r := NewReader(w.Bytes())
+		for _, v := range vs {
+			if r.U64() != v {
+				return false
+			}
+		}
+		return r.Err() == nil && r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickOffsetRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		w := NewWriter(8)
+		w.Offset(v)
+		return NewReader(w.Bytes()).Offset() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
