@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build vet test bench experiments experiments-fast examples clean
+.PHONY: all build vet lint test test-race bench experiments experiments-fast examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -10,8 +10,16 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Project static analysis: determinism, floatcompare, confinement, and
+# //airlint:allow directive checking (see internal/lint and DESIGN.md §7).
+lint:
+	$(GO) run ./cmd/airlint ./...
+
 test:
 	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

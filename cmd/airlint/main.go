@@ -1,0 +1,81 @@
+// Command airlint runs the project's static-analysis suite: the
+// determinism, floatcompare, and confinement analyzers plus
+// `//airlint:allow` directive checking (see internal/lint).
+//
+// Usage:
+//
+//	airlint ./...                 # lint the whole module
+//	airlint ./internal/sim        # lint one package
+//	airlint -list                 # describe the analyzers
+//
+// Exit status: 0 when clean, 1 when any diagnostic is reported, 2 on
+// usage or load errors. Findings print as file:line:col: [analyzer] msg.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/airindex/airindex/internal/lint"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "airlint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("airlint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "describe the analyzers and exit")
+	dir := fs.String("C", ".", "change to this directory before resolving patterns")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(out, "%-14s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(out, "%-14s %s\n", "directive", "check //airlint:allow suppressions (unknown or unused ones are errors)")
+		return 0, nil
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, modPath, err := lint.FindModule(*dir)
+	if err != nil {
+		return 2, err
+	}
+	loader := lint.NewLoader(root, modPath)
+	rels, err := loader.Expand(patterns)
+	if err != nil {
+		return 2, err
+	}
+	if len(rels) == 0 {
+		return 2, fmt.Errorf("no packages match %v", patterns)
+	}
+
+	findings := 0
+	for _, rel := range rels {
+		pkg, err := loader.Load(rel)
+		if err != nil {
+			return 2, err
+		}
+		for _, d := range lint.Check(pkg) {
+			findings++
+			fmt.Fprintln(out, d)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(out, "airlint: %d finding(s)\n", findings)
+		return 1, nil
+	}
+	return 0, nil
+}

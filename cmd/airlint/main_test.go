@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunCleanFixture(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"./cmd/airlint/testdata/clean"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("clean fixture: exit %d, output:\n%s", code, out.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean fixture should print nothing, got:\n%s", out.String())
+	}
+}
+
+func TestRunDirtyFixture(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"./cmd/airlint/testdata/dirty"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("dirty fixture: exit %d, want 1; output:\n%s", code, out.String())
+	}
+	for _, want := range []string{"dirty.go:", "[determinism]", "[confinement]", "time.Now", "go statement", "channel construction"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("dirty fixture output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunListsAnalyzers(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-list"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("-list: code %d err %v", code, err)
+	}
+	for _, want := range []string{"determinism", "floatcompare", "confinement", "directive"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunRejectsMissingDir(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := run([]string{"./no/such/dir"}, &out); err == nil {
+		t.Fatal("missing directory accepted")
+	}
+}

@@ -1,0 +1,12 @@
+// Package dirty is a known-bad fixture for the airlint smoke test: it
+// reads the wall clock and spawns a goroutine outside the sanctioned
+// concurrency layer.
+package dirty
+
+import "time"
+
+func Stamp() int64 {
+	done := make(chan int64, 1)
+	go func() { done <- time.Now().UnixNano() }()
+	return <-done
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -11,17 +12,25 @@ import (
 // runPoints executes one simulation per config concurrently (bounded by
 // GOMAXPROCS) and returns results in input order. Every run is seeded by
 // its own config, so the output is identical to a sequential sweep.
+//
+// This file is the testbed's only sanctioned concurrency layer: the
+// confinement analyzer (internal/lint) rejects goroutines, WaitGroups and
+// channel construction everywhere else, so the simulation kernel below
+// this point is single-threaded by construction.
 func runPoints(opt Options, cfgs []core.Config) ([]*core.Result, error) {
 	results := make([]*core.Result, len(cfgs))
 	errs := make([]error, len(cfgs))
 	var progressMu sync.Mutex
+	// Acquire the semaphore slot before spawning: at most GOMAXPROCS
+	// goroutines exist at a time, so the large per-run state core.RunOne
+	// allocates (broadcast image, client pools) is bounded the same way.
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
 	for i := range cfgs {
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			cfg := cfgs[i]
 			res, err := core.RunOne(cfg)
@@ -38,10 +47,10 @@ func runPoints(opt Options, cfgs []core.Config) ([]*core.Result, error) {
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	// errors.Join keeps input order, so the first failing point leads the
+	// message and no failure is silently dropped.
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return results, nil
 }

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// sanctionedConcurrency is the one file allowed to spawn goroutines and
+// use fan-out primitives. Keeping the simulation kernel single-threaded
+// by construction is what lets `go test` and `go test -race` agree with
+// the paper's sequential byte-clock semantics; parallelism exists only at
+// the whole-run granularity, where every run is independently seeded.
+const sanctionedConcurrency = "internal/experiments/parallel.go"
+
+// ConfinementAnalyzer flags `go` statements, sync.WaitGroup usage, and
+// channel construction (`make(chan ...)`) outside the sanctioned
+// concurrency layer.
+var ConfinementAnalyzer = &Analyzer{
+	Name: "confinement",
+	Doc:  "restrict goroutines, WaitGroups and channel fan-out to " + sanctionedConcurrency,
+	Run:  runConfinement,
+}
+
+func runConfinement(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.RelFile[f] == sanctionedConcurrency {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Go, "go statement outside %s; the sim kernel is single-threaded by construction", sanctionedConcurrency)
+			case *ast.SelectorExpr:
+				if obj, ok := pass.Info.Uses[n.Sel]; ok && isSyncFanOut(obj) {
+					pass.Reportf(n.Pos(), "sync.%s outside %s; fan-out belongs to the sanctioned concurrency layer", obj.Name(), sanctionedConcurrency)
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "make" && len(n.Args) > 0 {
+					if _, isChan := n.Args[0].(*ast.ChanType); isChan {
+						pass.Reportf(n.Pos(), "channel construction outside %s; fan-out belongs to the sanctioned concurrency layer", sanctionedConcurrency)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isSyncFanOut reports whether obj is a fan-out primitive from package
+// sync. Plain mutexes (sync.Mutex, sync.RWMutex, sync.Once) are allowed
+// everywhere — they guard shared state but cannot create concurrency.
+func isSyncFanOut(obj types.Object) bool {
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	switch obj.Name() {
+	case "WaitGroup", "Cond":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeterminismAnalyzer enforces the replayability contract: a run's output
+// is a pure function of its config and seed.
+//
+// Everywhere (outside test files) it forbids wall-clock and timer calls
+// (time.Now, time.Sleep, time.Since, ...) and the global top-level
+// math/rand functions — all randomness must flow through sim.RNG, which
+// carries an explicit seed. The deterministic constructors rand.New,
+// rand.NewSource and rand.NewZipf are permitted.
+//
+// Inside the simulation-critical packages (internal/sim, internal/schemes,
+// internal/core, internal/channel, internal/access, internal/stats) it
+// additionally flags `range` loops over maps whose iteration feeds a
+// slice or return value with no subsequent sort in the same function:
+// Go randomizes map iteration order, so such loops leak nondeterminism
+// into results.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock reads, global math/rand, and unsorted map-iteration results",
+	Run:  runDeterminism,
+}
+
+// wallClockFuncs are the package-level time functions that read the wall
+// clock or real timers.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+	"AfterFunc": true,
+}
+
+// seededRandFuncs are the math/rand constructors that take an explicit
+// seed or source and are therefore deterministic.
+var seededRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func runDeterminism(pass *Pass) {
+	for id, obj := range pass.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		// Only package-level functions: methods on *rand.Rand or
+		// time.Time values are either seeded or pure arithmetic.
+		if fn.Parent() != fn.Pkg().Scope() {
+			continue
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if wallClockFuncs[fn.Name()] {
+				pass.Reportf(id.Pos(), "call to time.%s reads the wall clock; simulated runs must be replayable from their seed (use sim.Time byte-clock instead)", fn.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			if !seededRandFuncs[fn.Name()] {
+				pass.Reportf(id.Pos(), "top-level rand.%s uses process-global randomness; draw through sim.RNG (or an explicitly seeded rand.New) instead", fn.Name())
+			}
+		}
+	}
+
+	if !underAny(pass.RelPath, simCritical) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			checkMapRanges(pass, fd)
+			return true
+		})
+	}
+}
+
+// checkMapRanges flags map-range loops in fd whose body appends to a
+// slice or returns, unless a sort call follows the loop in the same
+// function body.
+func checkMapRanges(pass *Pass, fd *ast.FuncDecl) {
+	var ranges []*ast.RangeStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); isMap {
+			ranges = append(ranges, rng)
+		}
+		return true
+	})
+	if len(ranges) == 0 {
+		return
+	}
+	var sortPositions []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if ok && isSortCall(pass, call) {
+			sortPositions = append(sortPositions, call.Pos())
+		}
+		return true
+	})
+	for _, rng := range ranges {
+		if !feedsResult(rng.Body) {
+			continue
+		}
+		sorted := false
+		for _, p := range sortPositions {
+			if p > rng.End() {
+				sorted = true
+				break
+			}
+		}
+		if !sorted {
+			pass.Reportf(rng.For, "map iteration order is randomized; results collected here must be sorted before use (or iterate a sorted key slice)")
+		}
+	}
+}
+
+// feedsResult reports whether the loop body accumulates into a slice
+// (via append) or returns a value — the two ways iteration order can
+// escape into a run's output.
+func feedsResult(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+				found = true
+			}
+		case *ast.ReturnStmt:
+			if len(n.Results) > 0 {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortCall recognizes ordering calls from the sort and slices packages.
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.Info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sort":
+		return true
+	case "slices":
+		switch obj.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment:
+//
+//	//airlint:allow <analyzer> <reason>
+//
+// It silences <analyzer> diagnostics on the same line (trailing comment)
+// or on the line directly below (standalone comment). The reason is
+// mandatory — a suppression without justification is itself an error —
+// and so is being useful: a suppression that matches no diagnostic is
+// reported, so stale allowances cannot accumulate.
+const directivePrefix = "//airlint:allow"
+
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// applyDirectives filters diags through the package's //airlint:allow
+// comments and appends any directive errors (unknown analyzer, missing
+// reason, unused suppression) as "directive" diagnostics.
+func applyDirectives(pkg *Package, diags []Diagnostic) []Diagnostic {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	var names []string
+	for n := range known {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var dirs []*directive
+	var errs []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					errs = append(errs, Diagnostic{Pos: pos, Analyzer: "directive",
+						Message: "malformed //airlint:allow: want \"//airlint:allow <analyzer> <reason>\""})
+					continue
+				}
+				if !known[fields[0]] {
+					errs = append(errs, Diagnostic{Pos: pos, Analyzer: "directive",
+						Message: fmt.Sprintf("unknown analyzer %q in //airlint:allow (known: %s)", fields[0], strings.Join(names, ", "))})
+					continue
+				}
+				if len(fields) < 2 {
+					errs = append(errs, Diagnostic{Pos: pos, Analyzer: "directive",
+						Message: "//airlint:allow " + fields[0] + " needs a reason"})
+					continue
+				}
+				dirs = append(dirs, &directive{pos: pos, analyzer: fields[0], reason: strings.Join(fields[1:], " ")})
+			}
+		}
+	}
+
+	var kept []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, dir := range dirs {
+			if dir.analyzer != d.Analyzer || dir.pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1 {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, dir := range dirs {
+		if !dir.used {
+			errs = append(errs, Diagnostic{Pos: dir.pos, Analyzer: "directive",
+				Message: "unused //airlint:allow " + dir.analyzer + " (no matching diagnostic on this or the next line)"})
+		}
+	}
+	return append(kept, errs...)
+}

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// floatExact lists the packages where exact float equality is forbidden:
+// the closed-form analytical model and the statistics layer, where the
+// paper's simulated-vs-analytical comparison (Table 1, Figures 4–6) is
+// computed and a `==` that "usually holds" silently skews a column.
+var floatExact = []string{
+	"internal/analytical",
+	"internal/stats",
+}
+
+// FloatCompareAnalyzer flags == and != between floating-point operands in
+// the analytical and stats packages. Accumulated rounding error makes
+// exact equality meaningless there; compare with a tolerance
+// (math.Abs(a-b) <= eps) or suppress with
+// `//airlint:allow floatcompare <reason>` where an exact sentinel value
+// is genuinely intended.
+var FloatCompareAnalyzer = &Analyzer{
+	Name: "floatcompare",
+	Doc:  "forbid exact ==/!= between floats in internal/analytical and internal/stats",
+	Run:  runFloatCompare,
+}
+
+func runFloatCompare(pass *Pass) {
+	if !underAny(pass.RelPath, floatExact) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			if bin.Op.String() != "==" && bin.Op.String() != "!=" {
+				return true
+			}
+			if isFloat(pass.Info.TypeOf(bin.X)) && isFloat(pass.Info.TypeOf(bin.Y)) {
+				pass.Reportf(bin.OpPos, "exact %s between floats; use a tolerance comparison (math.Abs(a-b) <= eps)", bin.Op)
+			}
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,139 @@
+// Package lint implements airlint, the project's static-analysis suite.
+//
+// The testbed's central guarantee is that every simulated run is exactly
+// replayable from its seed (DESIGN.md §1). airlint enforces the coding
+// contract that keeps the guarantee true as the codebase grows:
+//
+//   - determinism: no wall-clock reads, no global math/rand, no
+//     map-iteration order leaking into results (see determinism.go);
+//   - floatcompare: no exact ==/!= between floats in the analytical and
+//     stats packages (see floatcompare.go);
+//   - confinement: no goroutines, WaitGroups or channel fan-out outside
+//     the sanctioned concurrency layer (see confinement.go);
+//   - directive: `//airlint:allow <analyzer> <reason>` suppressions,
+//     with unknown or unused suppressions reported as errors
+//     (see directive.go).
+//
+// Everything is built on the standard library only (go/ast, go/parser,
+// go/token, go/types); there are no module dependencies.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned for file:line:col reporting.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one package's syntax and type information through an
+// analyzer, mirroring (in miniature) golang.org/x/tools/go/analysis.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// RelPath is the package directory relative to the module root using
+	// forward slashes (e.g. "internal/sim"). Analyzers use it to scope
+	// rules to the simulation-critical packages.
+	RelPath string
+
+	// RelFile maps each file to its module-relative path (e.g.
+	// "internal/experiments/parallel.go").
+	RelFile map[*ast.File]string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// simCritical lists the packages whose behaviour must be byte-for-byte
+// replayable from a seed. Subdirectories are included.
+var simCritical = []string{
+	"internal/sim",
+	"internal/schemes",
+	"internal/core",
+	"internal/channel",
+	"internal/access",
+	"internal/stats",
+}
+
+// underAny reports whether rel is one of the given module-relative
+// directories or below one of them.
+func underAny(rel string, dirs []string) bool {
+	for _, d := range dirs {
+		if rel == d || strings.HasPrefix(rel, d+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzers returns the full airlint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{DeterminismAnalyzer, FloatCompareAnalyzer, ConfinementAnalyzer}
+}
+
+// Check runs every analyzer over the package, applies `//airlint:allow`
+// suppressions, and returns the surviving diagnostics sorted by position.
+// Directive errors (unknown analyzer, missing reason, unused suppression)
+// are returned as diagnostics of the "directive" analyzer.
+func Check(pkg *Package) []Diagnostic {
+	var raw []Diagnostic
+	for _, a := range Analyzers() {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			RelPath:  pkg.RelPath,
+			RelFile:  pkg.RelFile,
+			diags:    &raw,
+		}
+		a.Run(pass)
+	}
+	diags := applyDirectives(pkg, raw)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureModule is the fake module rooted at testdata/src; its directory
+// layout mirrors the real module so path-scoped rules (simulation
+// packages, the sanctioned concurrency file) apply to fixtures exactly
+// as they do to production code.
+const fixtureModule = "example.com/airlintfix"
+
+var fixtureLoader = NewLoader(mustAbs("testdata/src"), fixtureModule)
+
+func mustAbs(p string) string {
+	abs, err := filepath.Abs(p)
+	if err != nil {
+		panic(err)
+	}
+	return abs
+}
+
+// check lints one fixture package and returns each diagnostic as
+// "file.go:line: analyzer".
+func check(t *testing.T, rel string) []string {
+	t.Helper()
+	pkg, err := fixtureLoader.Load(rel)
+	if err != nil {
+		t.Fatalf("load %s: %v", rel, err)
+	}
+	var got []string
+	for _, d := range Check(pkg) {
+		got = append(got, fmt.Sprintf("%s:%d: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Analyzer))
+	}
+	return got
+}
+
+func TestAnalyzers(t *testing.T) {
+	cases := []struct {
+		rel  string
+		want []string
+	}{
+		// determinism: wall clock ×2, global rand, unsorted map range.
+		{"internal/sim/bad", []string{
+			"bad.go:11: determinism",
+			"bad.go:15: determinism",
+			"bad.go:19: determinism",
+			"bad.go:24: determinism",
+		}},
+		// determinism negatives: seeded rand, duration arithmetic,
+		// sorted map range, order-insensitive accumulation.
+		{"internal/sim/good", nil},
+		// floatcompare: == and != between floats in scope.
+		{"internal/analytical/bad", []string{
+			"bad.go:5: floatcompare",
+			"bad.go:9: floatcompare",
+		}},
+		// floatcompare negatives: tolerance, int ==, ordered <.
+		{"internal/analytical/good", nil},
+		// out of scope for floatcompare and the map-order rule.
+		{"other", nil},
+		// confinement: WaitGroup decl, make(chan), go statement.
+		{"internal/core/badgo", []string{
+			"badgo.go:8: confinement",
+			"badgo.go:9: confinement",
+			"badgo.go:12: confinement",
+		}},
+		// the sanctioned concurrency file may use all of it.
+		{"internal/experiments", nil},
+		// working suppressions: trailing and preceding-line directives.
+		{"directives/ok", nil},
+		// unknown analyzer name: directive error, finding stays.
+		{"directives/unknown", []string{
+			"unknown.go:7: determinism",
+			"unknown.go:7: directive",
+		}},
+		// suppression matching nothing is an error.
+		{"directives/unused", []string{
+			"unused.go:4: directive",
+		}},
+		// suppression without a reason: error, finding stays.
+		{"directives/noreason", []string{
+			"noreason.go:7: determinism",
+			"noreason.go:7: directive",
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.rel, func(t *testing.T) {
+			got := check(t, tc.rel)
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d diagnostics %v, want %d %v", len(got), got, len(tc.want), tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("diagnostic %d: got %q, want %q", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestDiagnosticMessages(t *testing.T) {
+	pkg, err := fixtureLoader.Load("internal/sim/bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Check(pkg)
+	wantSubstrings := []string{"replayable from their seed", "replayable", "sim.RNG", "map iteration order"}
+	if len(diags) != len(wantSubstrings) {
+		t.Fatalf("got %d diagnostics, want %d: %v", len(diags), len(wantSubstrings), diags)
+	}
+	for i, want := range wantSubstrings {
+		if !strings.Contains(diags[i].Message, want) {
+			t.Errorf("diagnostic %d message %q does not mention %q", i, diags[i].Message, want)
+		}
+	}
+	// String form is file:line:col: [analyzer] message.
+	if s := diags[0].String(); !strings.Contains(s, "bad.go:11:") || !strings.Contains(s, "[determinism]") {
+		t.Errorf("diagnostic string %q missing position or analyzer tag", s)
+	}
+}
+
+func TestUnknownDirectiveListsKnownAnalyzers(t *testing.T) {
+	pkg, err := fixtureLoader.Load("directives/unknown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirDiag *Diagnostic
+	for _, d := range Check(pkg) {
+		if d.Analyzer == "directive" {
+			dirDiag = &d
+			break
+		}
+	}
+	if dirDiag == nil {
+		t.Fatal("no directive diagnostic reported")
+	}
+	for _, name := range []string{"determinism", "floatcompare", "confinement"} {
+		if !strings.Contains(dirDiag.Message, name) {
+			t.Errorf("unknown-directive message %q does not list analyzer %q", dirDiag.Message, name)
+		}
+	}
+}
+
+func TestExpandWalksFixtureTree(t *testing.T) {
+	got, err := fixtureLoader.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"directives/noreason", "internal/sim/bad", "other"}
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if g == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Expand missing package %q; got %v", w, got)
+		}
+	}
+}

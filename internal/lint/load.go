@@ -1,0 +1,268 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked (non-test) package.
+type Package struct {
+	RelPath string // module-relative directory, forward slashes
+	Dir     string // absolute directory
+	Fset    *token.FileSet
+	Files   []*ast.File
+	RelFile map[*ast.File]string
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Loader parses and type-checks packages of a single module using only
+// the standard library. Standard-library imports are resolved from
+// source via go/importer's "source" compiler; module-internal imports
+// are resolved recursively through the loader itself.
+type Loader struct {
+	ModuleRoot string // absolute path of the directory holding go.mod
+	ModulePath string // module path from go.mod
+	Fset       *token.FileSet
+
+	std  types.ImporterFrom
+	pkgs map[string]*Package // cache keyed by RelPath
+	load map[string]bool     // in-flight loads, for import-cycle detection
+}
+
+// NewLoader returns a loader rooted at moduleRoot for the given module
+// path. moduleRoot need not contain a real go.mod (tests point it at
+// fixture trees).
+func NewLoader(moduleRoot, modulePath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: moduleRoot,
+		ModulePath: modulePath,
+		Fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:       make(map[string]*Package),
+		load:       make(map[string]bool),
+	}
+}
+
+// FindModule locates the enclosing module of dir by walking up to the
+// nearest go.mod and returns (moduleRoot, modulePath).
+func FindModule(dir string) (string, string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+	}
+}
+
+// Expand resolves package patterns to module-relative directories.
+// A trailing "/..." walks the subtree; other arguments name a single
+// directory. Directories named "testdata", hidden directories, and
+// directories without non-test .go files are skipped during walks.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var rels []string
+	add := func(rel string) {
+		if !seen[rel] {
+			seen[rel] = true
+			rels = append(rels, rel)
+		}
+	}
+	for _, pat := range patterns {
+		walk := false
+		if p, ok := strings.CutSuffix(pat, "..."); ok {
+			walk = true
+			pat = strings.TrimSuffix(p, "/")
+			if pat == "" {
+				pat = "."
+			}
+		}
+		root := pat
+		if !filepath.IsAbs(root) {
+			root = filepath.Join(l.ModuleRoot, pat)
+		}
+		rel, err := l.relPath(root)
+		if err != nil {
+			return nil, err
+		}
+		if !walk {
+			if !hasGoFiles(root) {
+				return nil, fmt.Errorf("lint: no Go files in %s", root)
+			}
+			add(rel)
+			continue
+		}
+		err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				r, err := l.relPath(path)
+				if err != nil {
+					return err
+				}
+				add(r)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(rels)
+	return rels, nil
+}
+
+func (l *Loader) relPath(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	rel = filepath.ToSlash(rel)
+	if rel == ".." || strings.HasPrefix(rel, "../") {
+		return "", fmt.Errorf("lint: %s is outside module root %s", dir, l.ModuleRoot)
+	}
+	return rel, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Load parses and type-checks the package in the given module-relative
+// directory. Test files (_test.go) are excluded: they may legitimately
+// use wall clocks, global randomness, and goroutines.
+func (l *Loader) Load(rel string) (*Package, error) {
+	rel = filepath.ToSlash(rel)
+	if pkg, ok := l.pkgs[rel]; ok {
+		return pkg, nil
+	}
+	if l.load[rel] {
+		return nil, fmt.Errorf("lint: import cycle through %s", rel)
+	}
+	l.load[rel] = true
+	defer delete(l.load, rel)
+
+	dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	relFile := make(map[*ast.File]string)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		relFile[f] = path.Join(rel, name)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no non-test Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	importPath := l.ModulePath
+	if rel != "." {
+		importPath = l.ModulePath + "/" + rel
+	}
+	tpkg, _ := conf.Check(importPath, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", rel, typeErrs[0])
+	}
+	pkg := &Package{
+		RelPath: rel,
+		Dir:     dir,
+		Fset:    l.Fset,
+		Files:   files,
+		RelFile: relFile,
+		Types:   tpkg,
+		Info:    info,
+	}
+	l.pkgs[rel] = pkg
+	return pkg, nil
+}
+
+// loaderImporter adapts the Loader to go/types: module-internal import
+// paths are loaded recursively, everything else falls through to the
+// source-based standard-library importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == l.ModulePath {
+		pkg, err := l.Load(".")
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		pkg, err := l.Load(rest)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}

@@ -1,0 +1,8 @@
+// Package noreason suppresses without a justification.
+package noreason
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano() //airlint:allow determinism
+}

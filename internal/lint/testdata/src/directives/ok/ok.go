@@ -1,0 +1,14 @@
+// Package ok exercises working suppressions: a trailing same-line
+// directive and a standalone directive on the preceding line.
+package ok
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano() //airlint:allow determinism wall-clock use is intentional in this fixture
+}
+
+func Nap() {
+	//airlint:allow determinism sleeping is intentional in this fixture
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,8 @@
+// Package unknown misspells an analyzer name in a suppression.
+package unknown
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano() //airlint:allow determinsim typo in the analyzer name
+}

@@ -1,0 +1,7 @@
+// Package unused carries a suppression that matches no diagnostic.
+package unused
+
+//airlint:allow determinism stale suppression left behind after a refactor
+func Pure(a, b int) int {
+	return a + b
+}

@@ -1,0 +1,10 @@
+// Package bad holds floatcompare positive cases.
+package bad
+
+func Equalish(a, b float64) bool {
+	return a == b // line 5: exact float equality
+}
+
+func Different(a float32, b float32) bool {
+	return a != b // line 9: exact float inequality
+}

@@ -1,0 +1,19 @@
+// Package good holds floatcompare negative cases: tolerance comparison,
+// integer equality, and ordered float comparison are all fine.
+package good
+
+import "math"
+
+const eps = 1e-9
+
+func Close(a, b float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func SameCount(a, b int) bool {
+	return a == b
+}
+
+func Less(a, b float64) bool {
+	return a < b
+}

@@ -1,0 +1,28 @@
+// Package badgo trips every confinement rule outside the sanctioned
+// concurrency layer.
+package badgo
+
+import "sync"
+
+func FanOut(n int) {
+	var wg sync.WaitGroup        // line 8: WaitGroup outside parallel.go
+	results := make(chan int, n) // line 9: channel construction
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) { // line 12: go statement
+			defer wg.Done()
+			results <- i
+		}(i)
+	}
+	wg.Wait()
+}
+
+// A plain mutex is allowed everywhere: it guards state but cannot create
+// concurrency.
+var mu sync.Mutex
+
+func Locked(f func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	f()
+}

@@ -1,0 +1,21 @@
+// Package experiments mirrors the real module's sanctioned concurrency
+// layer: this file is internal/experiments/parallel.go, the one place
+// goroutines, WaitGroups, and channels are permitted.
+package experiments
+
+import "sync"
+
+func RunAll(fns []func()) {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 4)
+	for _, fn := range fns {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(fn func()) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn()
+		}(fn)
+	}
+	wg.Wait()
+}

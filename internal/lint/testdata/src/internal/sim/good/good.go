@@ -1,0 +1,40 @@
+// Package good exercises the determinism analyzer's negative cases:
+// seeded randomness, sorted map iteration, and map loops whose order
+// cannot escape.
+package good
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Seeded randomness through explicit constructors is fine.
+func DrawSeeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+// Pure duration arithmetic never reads the clock.
+func Budget() time.Duration {
+	return 3 * time.Millisecond
+}
+
+// Map iteration followed by a sort is deterministic.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Order-insensitive accumulation does not feed a slice or return.
+func Total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

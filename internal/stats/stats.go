@@ -110,6 +110,7 @@ func (s *Sample) HalfWidth(confidence float64) float64 {
 // Accuracy returns H/|Y|, the paper's confidence accuracy, and whether it is
 // defined (a zero mean makes the ratio meaningless).
 func (s *Sample) Accuracy(confidence float64) (float64, bool) {
+	//airlint:allow floatcompare exact zero guards an undefined ratio; any nonzero mean, however small, defines it
 	if s.n < 2 || s.mean == 0 {
 		return 0, false
 	}
@@ -123,6 +124,7 @@ func (s *Sample) Converged(confidence, acc float64) bool {
 	if s.n < 2 {
 		return false
 	}
+	//airlint:allow floatcompare m2 is exactly 0 iff every observation is identical (Welford never rounds to 0)
 	if s.m2 == 0 {
 		return true
 	}

@@ -87,6 +87,7 @@ func TCDF(t, df float64) float64 {
 	if df <= 0 {
 		return math.NaN()
 	}
+	//airlint:allow floatcompare exact symmetry-point shortcut; nearby t falls through to the series
 	if t == 0 {
 		return 0.5
 	}
@@ -106,6 +107,7 @@ func TQuantile(p, df float64) float64 {
 	switch {
 	case df <= 0 || p <= 0 || p >= 1:
 		return math.NaN()
+	//airlint:allow floatcompare exact median shortcut; nearby p falls through to bisection
 	case p == 0.5:
 		return 0
 	}
