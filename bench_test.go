@@ -105,7 +105,7 @@ func benchDataset(b *testing.B) *datagen.Dataset {
 func walkBench(b *testing.B, bc access.Broadcast, ds *datagen.Dataset) {
 	b.Helper()
 	rng := sim.NewRNG(1)
-	cycle := bc.Channel().CycleLen()
+	cycle := int64(bc.Channel().CycleLen())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		key := ds.KeyAt(rng.Intn(ds.Len()))

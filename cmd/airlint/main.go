@@ -1,18 +1,23 @@
 // Command airlint runs the project's static-analysis suite: the
-// determinism, floatcompare, and confinement analyzers plus
-// `//airlint:allow` directive checking (see internal/lint).
+// determinism, floatcompare, confinement, unitsafety, and exhaustive
+// analyzers plus `//airlint:allow` directive checking (see internal/lint).
 //
 // Usage:
 //
 //	airlint ./...                 # lint the whole module
 //	airlint ./internal/sim        # lint one package
+//	airlint -json ./...           # one JSON object per finding
 //	airlint -list                 # describe the analyzers
 //
 // Exit status: 0 when clean, 1 when any diagnostic is reported, 2 on
-// usage or load errors. Findings print as file:line:col: [analyzer] msg.
+// usage or load errors. Findings print as file:line:col: [analyzer] msg,
+// or with -json as one {"file","line","col","analyzer","message"} object
+// per line (no summary line), for machine consumers such as the CI
+// problem matcher in .github/problem-matchers/airlint.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -20,6 +25,15 @@ import (
 
 	"github.com/airindex/airindex/internal/lint"
 )
+
+// finding is the JSON shape of one diagnostic under -json.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
 
 func main() {
 	code, err := run(os.Args[1:], os.Stdout)
@@ -33,6 +47,7 @@ func main() {
 func run(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("airlint", flag.ContinueOnError)
 	list := fs.Bool("list", false, "describe the analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per finding instead of text")
 	dir := fs.String("C", ".", "change to this directory before resolving patterns")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
@@ -62,6 +77,7 @@ func run(args []string, out io.Writer) (int, error) {
 		return 2, fmt.Errorf("no packages match %v", patterns)
 	}
 
+	enc := json.NewEncoder(out)
 	findings := 0
 	for _, rel := range rels {
 		pkg, err := loader.Load(rel)
@@ -70,11 +86,25 @@ func run(args []string, out io.Writer) (int, error) {
 		}
 		for _, d := range lint.Check(pkg) {
 			findings++
-			fmt.Fprintln(out, d)
+			if *jsonOut {
+				if err := enc.Encode(finding{
+					File:     d.Pos.Filename,
+					Line:     d.Pos.Line,
+					Col:      d.Pos.Column,
+					Analyzer: d.Analyzer,
+					Message:  d.Message,
+				}); err != nil {
+					return 2, err
+				}
+			} else {
+				fmt.Fprintln(out, d)
+			}
 		}
 	}
 	if findings > 0 {
-		fmt.Fprintf(out, "airlint: %d finding(s)\n", findings)
+		if !*jsonOut {
+			fmt.Fprintf(out, "airlint: %d finding(s)\n", findings)
+		}
 		return 1, nil
 	}
 	return 0, nil

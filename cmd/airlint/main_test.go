@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -42,10 +43,59 @@ func TestRunListsAnalyzers(t *testing.T) {
 	if err != nil || code != 0 {
 		t.Fatalf("-list: code %d err %v", code, err)
 	}
-	for _, want := range []string{"determinism", "floatcompare", "confinement", "directive"} {
+	for _, want := range []string{"determinism", "floatcompare", "confinement", "unitsafety", "exhaustive", "directive"} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("-list output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+func TestRunJSONDirtyFixture(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-json", "./cmd/airlint/testdata/dirty"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("dirty fixture: exit %d, want 1; output:\n%s", code, out.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("-json printed no findings")
+	}
+	seen := make(map[string]bool)
+	for _, line := range lines {
+		var f struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("line %q is not a JSON object: %v", line, err)
+		}
+		if !strings.HasSuffix(f.File, "dirty.go") || f.Line <= 0 || f.Col <= 0 || f.Analyzer == "" || f.Message == "" {
+			t.Fatalf("incomplete finding %+v", f)
+		}
+		seen[f.Analyzer] = true
+	}
+	if !seen["determinism"] || !seen["confinement"] {
+		t.Fatalf("-json findings missing expected analyzers: %v", seen)
+	}
+	if strings.Contains(out.String(), "finding(s)") {
+		t.Fatalf("-json output should not carry the text summary:\n%s", out.String())
+	}
+}
+
+func TestRunJSONCleanFixture(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-json", "./cmd/airlint/testdata/clean"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 || out.Len() != 0 {
+		t.Fatalf("clean fixture under -json: exit %d, output:\n%s", code, out.String())
 	}
 }
 

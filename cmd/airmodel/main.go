@@ -16,6 +16,7 @@ import (
 	"text/tabwriter"
 
 	"github.com/airindex/airindex/internal/analytical"
+	"github.com/airindex/airindex/internal/units"
 	"github.com/airindex/airindex/internal/wire"
 )
 
@@ -53,10 +54,10 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("key size %d too large for record size %d", *keySize, *recordSize)
 		}
 	}
-	dataBucket := float64(wire.HeaderSize + *recordSize)
-	treeBucket := float64(wire.HeaderSize + wire.OffsetSize + *recordSize)
-	hashBucket := float64(wire.HeaderSize + 13 + *recordSize)
-	sigBucket := float64(wire.HeaderSize + *sigBytes)
+	dataBucket := float64(wire.HeaderSize + units.Bytes(*recordSize))
+	treeBucket := float64(wire.HeaderSize + wire.OffsetSize + units.Bytes(*recordSize))
+	hashBucket := float64(wire.HeaderSize + 13 + units.Bytes(*recordSize))
+	sigBucket := float64(wire.HeaderSize + units.Bytes(*sigBytes))
 
 	w := tabwriter.NewWriter(out, 2, 0, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintln(w, "records\tflat At\tflat Tt\tdist At\tdist Tt\t(1,m) At\t(1,m) Tt\thash At\thash Tt\tsig At\tsig Tt\t")

@@ -22,6 +22,7 @@ import (
 	"github.com/airindex/airindex/internal/datagen"
 	"github.com/airindex/airindex/internal/schemes/flat"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 )
 
 // interpolation wraps the flat broadcast with a smarter client.
@@ -69,20 +70,20 @@ func (c *ipClient) estimate() int {
 	return pos
 }
 
-func (c *ipClient) OnBucket(i int, end sim.Time) access.Step {
+func (c *ipClient) OnBucket(i units.BucketIndex, end sim.Time) access.Step {
 	ds := c.ip.ds
 	c.scanned++
 	if c.scanned > ds.Len()+1 {
 		return access.Done(false) // safety net: a full cycle examined
 	}
-	k := ds.KeyAt(i)
+	k := ds.KeyAt(int(i))
 	switch {
 	case k == c.key:
 		return access.Done(true)
 	case !c.aimed:
 		// First read: jump to the interpolated position.
 		c.aimed = true
-		target := c.estimate()
+		target := units.Index(c.estimate())
 		ch := c.ip.Channel()
 		return access.DozeAt(target, ch.NextOccurrence(target, end))
 	case k < c.key:

@@ -30,7 +30,7 @@ func main() {
 	ch := bc.Channel()
 	fmt.Printf("broadcast cycle: %d buckets, %d bytes (%.1f%% index overhead)\n",
 		ch.NumBuckets(), ch.CycleLen(),
-		100*float64(ch.NumBuckets()-ds.Len())/float64(ch.NumBuckets()))
+		100*float64(int(ch.NumBuckets())-ds.Len())/float64(ch.NumBuckets()))
 	fmt.Printf("index tree: fanout %d, %d levels, replication depth %d\n\n",
 		bc.Tree().Fanout, bc.Tree().Levels, bc.R())
 

@@ -12,6 +12,7 @@ import (
 	"github.com/airindex/airindex/internal/core"
 	"github.com/airindex/airindex/internal/datagen"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 )
 
 // TestRandomGeometries builds every scheme over randomized dataset shapes
@@ -46,7 +47,7 @@ func TestRandomGeometries(t *testing.T) {
 			}
 			t.Fatalf("iter %d %s %+v: %v", it, scheme, cfg, err)
 		}
-		cycle := bc.Channel().CycleLen()
+		cycle := int64(bc.Channel().CycleLen())
 		for q := 0; q < 8; q++ {
 			rec := rng.Intn(ds.Len())
 			arrival := sim.Time(rng.Int63n(3 * cycle))
@@ -57,7 +58,7 @@ func TestRandomGeometries(t *testing.T) {
 			if !res.Found {
 				t.Fatalf("iter %d %s %+v: key %d (record %d) not found", it, scheme, cfg, ds.KeyAt(rec), rec)
 			}
-			if res.Tuning > res.Access || res.Access > 3*cycle {
+			if res.Tuning > res.Access || res.Access > units.Bytes64(3*cycle) {
 				t.Fatalf("iter %d %s: implausible accounting %+v (cycle %d)", it, scheme, res, cycle)
 			}
 		}

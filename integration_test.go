@@ -11,6 +11,7 @@ import (
 	"github.com/airindex/airindex/internal/core"
 	"github.com/airindex/airindex/internal/datagen"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 )
 
 // buildAll constructs every registered scheme over one dataset.
@@ -38,7 +39,7 @@ func TestEverySchemeCorrectness(t *testing.T) {
 	for name, bc := range schemes {
 		name, bc := name, bc
 		t.Run(name, func(t *testing.T) {
-			cycle := bc.Channel().CycleLen()
+			cycle := int64(bc.Channel().CycleLen())
 			for i := 0; i < ds.Len(); i += 7 {
 				arrival := sim.Time(rng.Int63n(2 * cycle))
 				res, err := access.Walk(bc.Channel(), bc.NewClient(ds.KeyAt(i)), arrival, 0)
@@ -51,12 +52,12 @@ func TestEverySchemeCorrectness(t *testing.T) {
 				if res.Tuning > res.Access {
 					t.Fatalf("tuning %d exceeds access %d (cannot listen longer than you wait)", res.Tuning, res.Access)
 				}
-				if res.Access > 3*cycle {
+				if res.Access > units.Bytes64(3*cycle) {
 					t.Fatalf("access %d exceeds three cycles", res.Access)
 				}
 				// A present key is never "found" without downloading at
 				// least its own record's bytes.
-				if res.Tuning < int64(ds.Config().RecordSize) {
+				if res.Tuning < units.Bytes(ds.Config().RecordSize) {
 					t.Fatalf("tuning %d below one record size", res.Tuning)
 				}
 			}
@@ -79,15 +80,15 @@ func TestEverySchemeWireSizes(t *testing.T) {
 	for name, bc := range schemes {
 		ch := bc.Channel()
 		var total int64
-		for i := 0; i < ch.NumBuckets(); i++ {
-			bk := ch.Bucket(i)
+		for i := 0; i < int(ch.NumBuckets()); i++ {
+			bk := ch.Bucket(units.Index(i))
 			enc := bk.Encode()
-			if len(enc) != bk.Size() {
+			if units.Bytes(len(enc)) != bk.Size() {
 				t.Fatalf("%s bucket %d: Encode()=%d bytes, Size()=%d", name, i, len(enc), bk.Size())
 			}
 			total += int64(len(enc))
 		}
-		if total != ch.CycleLen() {
+		if units.Bytes64(total) != ch.CycleLen() {
 			t.Fatalf("%s: encoded cycle %d bytes, channel says %d", name, total, ch.CycleLen())
 		}
 	}
@@ -152,7 +153,7 @@ func TestFaultyWalkAcrossSchemes(t *testing.T) {
 			key := ds.KeyAt(rng.Intn(ds.Len()))
 			res, err := access.WalkFaulty(bc.Channel(),
 				func() access.Client { return bc.NewClient(key) },
-				sim.Time(rng.Int63n(bc.Channel().CycleLen())), 0.05, rng.Float64, 0)
+				sim.Time(rng.Int63n(int64(bc.Channel().CycleLen()))), 0.05, rng.Float64, 0)
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}

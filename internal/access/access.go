@@ -16,6 +16,7 @@ import (
 
 	"github.com/airindex/airindex/internal/channel"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 )
 
 // StepKind is a client's next move after reading a bucket.
@@ -40,7 +41,7 @@ type Step struct {
 	// Hint optionally names the bucket index the doze targets when the
 	// client computed At with channel.NextOccurrence. It lets the runner
 	// skip the position search; -1 (or a stale hint) falls back to it.
-	Hint int
+	Hint units.BucketIndex
 }
 
 // Next returns the keep-listening step.
@@ -51,7 +52,7 @@ func Doze(at sim.Time) Step { return Step{Kind: StepDoze, At: at, Hint: -1} }
 
 // DozeAt returns a doze-until step targeting a known bucket index whose
 // next occurrence begins exactly at t.
-func DozeAt(idx int, t sim.Time) Step { return Step{Kind: StepDoze, At: t, Hint: idx} }
+func DozeAt(idx units.BucketIndex, t sim.Time) Step { return Step{Kind: StepDoze, At: t, Hint: idx} }
 
 // Done returns a terminal step.
 func Done(found bool) Step { return Step{Kind: StepDone, Found: found} }
@@ -62,7 +63,7 @@ func Done(found bool) Step { return Step{Kind: StepDone, Found: found} }
 // the broadcast cycle; end is the absolute time at which its last byte was
 // received.
 type Client interface {
-	OnBucket(bucketIndex int, end sim.Time) Step
+	OnBucket(bucketIndex units.BucketIndex, end sim.Time) Step
 }
 
 // Broadcast couples one constructed broadcast cycle with its access
@@ -97,9 +98,9 @@ type AttrQuerier interface {
 type Result struct {
 	// Access is the paper's access time: bytes elapsed from request
 	// arrival to the end of the final bucket read.
-	Access int64
+	Access units.ByteCount
 	// Tuning is the paper's tuning time: bytes spent actively listening.
-	Tuning int64
+	Tuning units.ByteCount
 	// Found reports whether the record was downloaded.
 	Found bool
 	// Probes counts buckets read (active-mode tune-ins).
@@ -130,22 +131,19 @@ func Walk(ch *channel.Channel, c Client, arrival sim.Time, maxSteps int) (Result
 		switch s.Kind {
 		case StepNext:
 			// Buckets are contiguous: the next one starts where this ended.
-			idx++
-			if idx == ch.NumBuckets() {
-				idx = 0
-			}
+			idx = idx.Next(ch.NumBuckets())
 			start = end
 		case StepDoze:
 			if s.At < end {
 				return res, fmt.Errorf("access: client dozed into the past: %d < %d", s.At, end)
 			}
-			if s.Hint >= 0 && s.Hint < ch.NumBuckets() && int64(s.At)%ch.CycleLen() == ch.StartInCycle(s.Hint) {
+			if s.Hint.InCycle(ch.NumBuckets()) && units.CycleOffset(s.At, ch.CycleLen()) == ch.StartInCycle(s.Hint) {
 				idx, start = s.Hint, s.At
 			} else {
 				idx, start = ch.NextBucketAt(s.At)
 			}
 		case StepDone:
-			res.Access = int64(end - arrival)
+			res.Access = units.Elapsed(arrival, end)
 			res.Found = s.Found
 			return res, nil
 		default:

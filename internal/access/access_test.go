@@ -6,23 +6,24 @@ import (
 
 	"github.com/airindex/airindex/internal/channel"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 	"github.com/airindex/airindex/internal/wire"
 )
 
 type fakeBucket int
 
-func (b fakeBucket) Size() int       { return int(b) }
-func (b fakeBucket) Kind() wire.Kind { return wire.KindData }
-func (b fakeBucket) Encode() []byte  { return make([]byte, int(b)) }
+func (b fakeBucket) Size() units.ByteCount { return units.Bytes(int(b)) }
+func (b fakeBucket) Kind() wire.Kind       { return wire.KindData }
+func (b fakeBucket) Encode() []byte        { return make([]byte, int(b)) }
 
 // scriptClient replays a fixed list of steps and records what it saw.
 type scriptClient struct {
 	steps []Step
-	seen  []int
+	seen  []units.BucketIndex
 	ends  []sim.Time
 }
 
-func (c *scriptClient) OnBucket(i int, end sim.Time) Step {
+func (c *scriptClient) OnBucket(i units.BucketIndex, end sim.Time) Step {
 	c.seen = append(c.seen, i)
 	c.ends = append(c.ends, end)
 	s := c.steps[0]
@@ -146,7 +147,7 @@ func TestWalkRejectsPastDoze(t *testing.T) {
 
 func TestWalkStepBudget(t *testing.T) {
 	ch := testChannel(t, 10)
-	c := clientFunc(func(int, sim.Time) Step { return Next() })
+	c := clientFunc(func(units.BucketIndex, sim.Time) Step { return Next() })
 	if _, err := Walk(ch, c, 0, 100); err == nil {
 		t.Fatal("non-terminating client should exceed step budget")
 	}
@@ -154,15 +155,15 @@ func TestWalkStepBudget(t *testing.T) {
 
 func TestWalkInvalidStepKind(t *testing.T) {
 	ch := testChannel(t, 10)
-	c := clientFunc(func(int, sim.Time) Step { return Step{} })
+	c := clientFunc(func(units.BucketIndex, sim.Time) Step { return Step{} })
 	if _, err := Walk(ch, c, 0, 0); err == nil {
 		t.Fatal("zero step kind should error")
 	}
 }
 
-type clientFunc func(int, sim.Time) Step
+type clientFunc func(units.BucketIndex, sim.Time) Step
 
-func (f clientFunc) OnBucket(i int, end sim.Time) Step { return f(i, end) }
+func (f clientFunc) OnBucket(i units.BucketIndex, end sim.Time) Step { return f(i, end) }
 
 func TestWalkArrivalExactlyAtBoundary(t *testing.T) {
 	ch := testChannel(t, 10, 20, 30)

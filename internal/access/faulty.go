@@ -5,6 +5,7 @@ import (
 
 	"github.com/airindex/airindex/internal/channel"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 )
 
 // FaultyResult extends Result with error-recovery accounting.
@@ -47,22 +48,19 @@ func WalkFaulty(ch *channel.Channel, newClient func() Client, arrival sim.Time, 
 		s := c.OnBucket(idx, end)
 		switch s.Kind {
 		case StepNext:
-			idx++
-			if idx == ch.NumBuckets() {
-				idx = 0
-			}
+			idx = idx.Next(ch.NumBuckets())
 			start = end
 		case StepDoze:
 			if s.At < end {
 				return res, fmt.Errorf("access: client dozed into the past: %d < %d", s.At, end)
 			}
-			if s.Hint >= 0 && s.Hint < ch.NumBuckets() && int64(s.At)%ch.CycleLen() == ch.StartInCycle(s.Hint) {
+			if s.Hint.InCycle(ch.NumBuckets()) && units.CycleOffset(s.At, ch.CycleLen()) == ch.StartInCycle(s.Hint) {
 				idx, start = s.Hint, s.At
 			} else {
 				idx, start = ch.NextBucketAt(s.At)
 			}
 		case StepDone:
-			res.Access = int64(end - arrival)
+			res.Access = units.Elapsed(arrival, end)
 			res.Found = s.Found
 			return res, nil
 		default:

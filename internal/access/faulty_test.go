@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 )
 
 func TestWalkFaultyZeroBERMatchesWalk(t *testing.T) {
@@ -30,7 +31,7 @@ func TestWalkFaultyRestartsOnCorruption(t *testing.T) {
 	calls := 0
 	mk := func() Client {
 		calls++
-		return clientFunc(func(int, sim.Time) Step { return Done(true) })
+		return clientFunc(func(units.BucketIndex, sim.Time) Step { return Done(true) })
 	}
 	// First read corrupted, second clean.
 	draws := []float64{0.0, 0.99}
@@ -54,7 +55,7 @@ func TestWalkFaultyRestartsOnCorruption(t *testing.T) {
 func TestWalkFaultyAlwaysCorruptExhaustsBudget(t *testing.T) {
 	ch := testChannel(t, 10)
 	mk := func() Client {
-		return clientFunc(func(int, sim.Time) Step { return Done(true) })
+		return clientFunc(func(units.BucketIndex, sim.Time) Step { return Done(true) })
 	}
 	if _, err := WalkFaulty(ch, mk, 0, 0.9, func() float64 { return 0 }, 50); err == nil {
 		t.Fatal("all-corrupt channel should exhaust the step budget")
@@ -63,7 +64,7 @@ func TestWalkFaultyAlwaysCorruptExhaustsBudget(t *testing.T) {
 
 func TestWalkFaultyInvalidBER(t *testing.T) {
 	ch := testChannel(t, 10)
-	mk := func() Client { return clientFunc(func(int, sim.Time) Step { return Done(true) }) }
+	mk := func() Client { return clientFunc(func(units.BucketIndex, sim.Time) Step { return Done(true) }) }
 	for _, ber := range []float64{-0.1, 1.0, 2.0} {
 		if _, err := WalkFaulty(ch, mk, 0, ber, rand.Float64, 0); err == nil {
 			t.Fatalf("BER %v accepted", ber)

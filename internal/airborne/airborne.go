@@ -19,6 +19,7 @@ import (
 	"github.com/airindex/airindex/internal/channel"
 	"github.com/airindex/airindex/internal/datagen"
 	"github.com/airindex/airindex/internal/schemes/treeidx"
+	"github.com/airindex/airindex/internal/units"
 	"github.com/airindex/airindex/internal/wire"
 )
 
@@ -55,7 +56,7 @@ func NewBytes(ch *channel.Channel) *Bytes {
 }
 
 // Of returns bucket i's encoded bytes.
-func (e *Bytes) Of(i int) []byte {
+func (e *Bytes) Of(i units.BucketIndex) []byte {
 	if e.cache[i] == nil {
 		e.cache[i] = e.ch.Bucket(i).Encode()
 	}
@@ -63,7 +64,7 @@ func (e *Bytes) Of(i int) []byte {
 }
 
 // NumBuckets returns the cycle's bucket count.
-func (e *Bytes) NumBuckets() int { return e.ch.NumBuckets() }
+func (e *Bytes) NumBuckets() units.BucketCount { return e.ch.NumBuckets() }
 
 // NewClient returns a byte-driven client for the named paper scheme. The
 // supported names are flat, (1,m), distributed, hashing and signature.

@@ -11,6 +11,7 @@ import (
 	"github.com/airindex/airindex/internal/schemes/hashing"
 	"github.com/airindex/airindex/internal/schemes/onem"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 )
 
 // harness builds one scheme plus its airborne contract over a dataset.
@@ -74,7 +75,7 @@ func TestAirborneFindsEveryKey(t *testing.T) {
 			h := newHarness(t, scheme, 400)
 			rng := sim.NewRNG(6)
 			for i := 0; i < h.ds.Len(); i += 3 {
-				arrival := sim.Time(rng.Int63n(h.bc.Channel().CycleLen()))
+				arrival := sim.Time(rng.Int63n(int64(h.bc.Channel().CycleLen())))
 				res := h.airborneWalk(t, scheme, h.ds.KeyAt(i), arrival)
 				if !res.Found {
 					t.Fatalf("key %d not found from bytes alone", h.ds.KeyAt(i))
@@ -94,7 +95,7 @@ func TestAirborneMissingKeysFail(t *testing.T) {
 			h := newHarness(t, scheme, 300)
 			rng := sim.NewRNG(8)
 			for i := 0; i < h.ds.Len(); i += 17 {
-				arrival := sim.Time(rng.Int63n(h.bc.Channel().CycleLen()))
+				arrival := sim.Time(rng.Int63n(int64(h.bc.Channel().CycleLen())))
 				res := h.airborneWalk(t, scheme, h.ds.MissingKeyNear(i), arrival)
 				if res.Found {
 					t.Fatalf("missing key near %d reported found", i)
@@ -122,7 +123,7 @@ func TestDifferentialAgainstMetadataClients(t *testing.T) {
 		t.Run(scheme, func(t *testing.T) {
 			h := newHarness(t, scheme, 500)
 			rng := sim.NewRNG(99)
-			cycle := h.bc.Channel().CycleLen()
+			cycle := int64(h.bc.Channel().CycleLen())
 			var sumMetaA, sumWireA, sumMetaT, sumWireT float64
 			const n = 400
 			for q := 0; q < n; q++ {
@@ -150,7 +151,7 @@ func TestDifferentialAgainstMetadataClients(t *testing.T) {
 					}
 				default:
 					// Tree schemes: both must stay within three cycles.
-					if aero.Access > 3*cycle || meta.Access > 3*cycle {
+					if aero.Access > units.Bytes64(3*cycle) || meta.Access > units.Bytes64(3*cycle) {
 						t.Fatalf("access out of bounds: meta %+v aero %+v", meta, aero)
 					}
 				}

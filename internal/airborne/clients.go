@@ -8,6 +8,7 @@ import (
 	"github.com/airindex/airindex/internal/schemes/signature"
 	"github.com/airindex/airindex/internal/schemes/treeidx"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 	"github.com/airindex/airindex/internal/wire"
 )
 
@@ -24,10 +25,11 @@ func newFlatClient(b *Bytes, c Contract, key uint64) *flatClient {
 	return &flatClient{b: b, c: c, queryKey: datagen.EncodeKeyWidth(key, c.KeySize)}
 }
 
-func (cl *flatClient) OnBucket(i int, _ sim.Time) access.Step {
+func (cl *flatClient) OnBucket(i units.BucketIndex, _ sim.Time) access.Step {
 	p := cl.b.Of(i)
 	cl.read++
-	if bytes.Equal(p[wire.HeaderSize:wire.HeaderSize+cl.c.KeySize], cl.queryKey) {
+	keyOff := int(wire.HeaderSize)
+	if bytes.Equal(p[keyOff:keyOff+cl.c.KeySize], cl.queryKey) {
 		return access.Done(true)
 	}
 	if cl.read >= cl.c.NumRecords {
@@ -45,7 +47,7 @@ type sigClient struct {
 	query    signature.Sig
 	queryKey []byte
 	scanned  int
-	dataSize sim.Time
+	dataSize units.ByteCount
 }
 
 func newSigClient(b *Bytes, c Contract, key uint64) *sigClient {
@@ -55,16 +57,17 @@ func newSigClient(b *Bytes, c Contract, key uint64) *sigClient {
 		c:        c,
 		query:    signature.QuerySig(keyEnc, c.SigBytes, c.BitsPerField),
 		queryKey: keyEnc,
-		dataSize: sim.Time(wire.HeaderSize + c.RecordSize),
+		dataSize: wire.HeaderSize + units.Bytes(c.RecordSize),
 	}
 }
 
-func (cl *sigClient) OnBucket(i int, end sim.Time) access.Step {
+func (cl *sigClient) OnBucket(i units.BucketIndex, end sim.Time) access.Step {
 	p := cl.b.Of(i)
 	h := header(p)
+	payloadOff := int(wire.HeaderSize)
 	if h.Kind == wire.KindSignature {
 		cl.scanned++
-		rec := signature.Sig(p[wire.HeaderSize : wire.HeaderSize+cl.c.SigBytes])
+		rec := signature.Sig(p[payloadOff : payloadOff+cl.c.SigBytes])
 		if rec.Covers(cl.query) {
 			return access.Next() // download the following data bucket
 		}
@@ -72,10 +75,10 @@ func (cl *sigClient) OnBucket(i int, end sim.Time) access.Step {
 			return access.Done(false)
 		}
 		// Doze over the fixed-size data bucket to the next signature.
-		return access.Doze(end + cl.dataSize)
+		return access.Doze(end + cl.dataSize.Span())
 	}
 	// Data bucket: requested record or false drop.
-	if bytes.Equal(p[wire.HeaderSize:wire.HeaderSize+cl.c.KeySize], cl.queryKey) {
+	if bytes.Equal(p[payloadOff:payloadOff+cl.c.KeySize], cl.queryKey) {
 		return access.Done(true)
 	}
 	if cl.scanned >= cl.c.NumRecords {
@@ -135,11 +138,11 @@ func (cl *hashClient) control(p []byte) (empty bool, hashVal uint32, shift, cycl
 	return
 }
 
-func (cl *hashClient) bucketSize() sim.Time {
-	return sim.Time(wire.HeaderSize + 1 + 4 + 2*wire.OffsetSize + cl.c.RecordSize)
+func (cl *hashClient) bucketSize() units.ByteCount {
+	return wire.HeaderSize + 1 + 4 + 2*wire.OffsetSize + units.Bytes(cl.c.RecordSize)
 }
 
-func (cl *hashClient) OnBucket(i int, end sim.Time) access.Step {
+func (cl *hashClient) OnBucket(i units.BucketIndex, end sim.Time) access.Step {
 	p := cl.b.Of(i)
 	h := header(p)
 	empty, hashVal, shift, cycleRemain := cl.control(p)
@@ -152,15 +155,15 @@ func (cl *hashClient) OnBucket(i int, end sim.Time) access.Step {
 			if shift <= 0 {
 				return cl.examine(empty, hashVal, p)
 			}
-			return access.Doze(end + sim.Time(shift))
+			return access.Doze(end + units.Bytes64(shift).Span())
 		case seq < cl.target:
 			// Uniform buckets: the hash position's start time is computable
 			// from the sequence delta.
-			return access.Doze(end + sim.Time(int64(cl.target-seq-1))*cl.bucketSize())
+			return access.Doze(end + cl.bucketSize().Times(cl.target-seq-1).Span())
 		default:
 			// Missed it: wait out the cycle and probe again from the top
 			// (the paper's extra bucket read).
-			return access.Doze(end + sim.Time(cycleRemain))
+			return access.Doze(end + units.Bytes64(cycleRemain).Span())
 		}
 	case hashChain:
 		return cl.examine(empty, hashVal, p)
@@ -170,7 +173,7 @@ func (cl *hashClient) OnBucket(i int, end sim.Time) access.Step {
 
 func (cl *hashClient) examine(empty bool, hashVal uint32, p []byte) access.Step {
 	cl.read++
-	if cl.read > cl.b.NumBuckets() {
+	if units.Count(cl.read) > cl.b.NumBuckets() {
 		return access.Done(false)
 	}
 	// A different hash value or an explicitly empty position ends the
@@ -178,7 +181,7 @@ func (cl *hashClient) examine(empty bool, hashVal uint32, p []byte) access.Step 
 	if int(hashVal) != cl.target || empty {
 		return access.Done(false)
 	}
-	keyOff := wire.HeaderSize + 1 + 4 + 2*wire.OffsetSize
+	keyOff := int(wire.HeaderSize + 1 + 4 + 2*wire.OffsetSize)
 	if bytes.Equal(p[keyOff:keyOff+cl.c.KeySize], cl.queryKey) {
 		return access.Done(true)
 	}
@@ -220,12 +223,12 @@ func nextSegDelta(p []byte) int64 {
 	return r.Offset()
 }
 
-func (cl *treeClient) OnBucket(i int, end sim.Time) access.Step {
+func (cl *treeClient) OnBucket(i units.BucketIndex, end sim.Time) access.Step {
 	p := cl.b.Of(i)
 	switch cl.phase {
 	case treeFirstProbe:
 		cl.phase = treeNavigate
-		return access.Doze(end + sim.Time(nextSegDelta(p)))
+		return access.Doze(end + units.Bytes64(nextSegDelta(p)).Span())
 
 	case treeNavigate:
 		d, err := treeidx.DecodeIndex(p, cl.c.TreeLayout)
@@ -235,7 +238,7 @@ func (cl *treeClient) OnBucket(i int, end sim.Time) access.Step {
 		// The paper's shortcut: if the key was broadcast before this
 		// segment, its data bucket has passed — wait for the next cycle.
 		if d.LastKey != treeidx.NoKey && cl.key <= d.LastKey {
-			return access.Doze(end + sim.Time(d.NextCycle))
+			return access.Doze(end + units.Bytes64(d.NextCycle).Span())
 		}
 		// Route by separator keys: first entry covering the query.
 		j := -1
@@ -251,7 +254,7 @@ func (cl *treeClient) OnBucket(i int, end sim.Time) access.Step {
 			if len(d.Ctrl) == 0 {
 				return access.Done(false)
 			}
-			return access.Doze(end + sim.Time(d.Ctrl[len(d.Ctrl)-1]))
+			return access.Doze(end + units.Bytes64(d.Ctrl[len(d.Ctrl)-1]).Span())
 		}
 		// The node's level equals its control-entry count; the leaf index
 		// level is Levels-1.
@@ -260,12 +263,12 @@ func (cl *treeClient) OnBucket(i int, end sim.Time) access.Step {
 				return access.Done(false) // routed leaf has no exact entry
 			}
 			cl.phase = treeDownload
-			return access.Doze(end + sim.Time(d.Local[j]))
+			return access.Doze(end + units.Bytes64(d.Local[j]).Span())
 		}
-		return access.Doze(end + sim.Time(d.Local[j]))
+		return access.Doze(end + units.Bytes64(d.Local[j]).Span())
 
 	case treeDownload:
-		keyOff := wire.HeaderSize + wire.OffsetSize
+		keyOff := int(wire.HeaderSize + wire.OffsetSize)
 		if !bytes.Equal(p[keyOff:keyOff+cl.c.TreeLayout.KeySize], cl.queryKey) {
 			panic("airborne: downloaded the wrong data bucket")
 		}

@@ -7,6 +7,11 @@
 // given time, when the next complete bucket begins (the paper's "initial
 // wait"), and when a specific bucket will next be broadcast (the target of
 // a doze-mode offset pointer).
+//
+// All geometry is expressed in the defined types of internal/units:
+// sizes are units.ByteCount, in-cycle positions are units.ByteOffset and
+// bucket positions are units.BucketIndex — so confusing a byte offset
+// with a byte amount, or an index with a count, is a compile error.
 package channel
 
 import (
@@ -14,6 +19,7 @@ import (
 	"sort"
 
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 	"github.com/airindex/airindex/internal/wire"
 )
 
@@ -23,7 +29,7 @@ import (
 // real on-air bytes.
 type Bucket interface {
 	// Size is the encoded byte length of the bucket.
-	Size() int
+	Size() units.ByteCount
 	// Kind reports the bucket's role.
 	Kind() wire.Kind
 	// Encode serializes the bucket to its wire form.
@@ -33,8 +39,8 @@ type Bucket interface {
 // Channel is an immutable broadcast cycle.
 type Channel struct {
 	buckets []Bucket
-	starts  []int64 // starts[i] = byte offset of bucket i within the cycle
-	cycle   int64
+	starts  []units.ByteOffset // starts[i] = byte offset of bucket i within the cycle
+	cycle   units.ByteCount
 }
 
 // Build assembles a channel from a bucket sequence.
@@ -42,8 +48,9 @@ func Build(buckets []Bucket) (*Channel, error) {
 	if len(buckets) == 0 {
 		return nil, fmt.Errorf("channel: empty bucket sequence")
 	}
-	starts := make([]int64, len(buckets))
-	var off int64
+	starts := make([]units.ByteOffset, len(buckets))
+	var off units.ByteOffset
+	var total units.ByteCount
 	for i, b := range buckets {
 		if b == nil {
 			return nil, fmt.Errorf("channel: nil bucket at %d", i)
@@ -52,9 +59,10 @@ func Build(buckets []Bucket) (*Channel, error) {
 			return nil, fmt.Errorf("channel: bucket %d has nonpositive size %d", i, b.Size())
 		}
 		starts[i] = off
-		off += int64(b.Size())
+		off = off.Advance(b.Size())
+		total += b.Size()
 	}
-	return &Channel{buckets: buckets, starts: starts, cycle: off}, nil
+	return &Channel{buckets: buckets, starts: starts, cycle: total}, nil
 }
 
 // MustBuild is Build for statically correct sequences; it panics on error.
@@ -67,88 +75,87 @@ func MustBuild(buckets []Bucket) *Channel {
 }
 
 // NumBuckets returns the number of buckets per cycle.
-func (c *Channel) NumBuckets() int { return len(c.buckets) }
+func (c *Channel) NumBuckets() units.BucketCount { return units.Count(len(c.buckets)) }
 
 // Bucket returns the i-th bucket of the cycle.
-func (c *Channel) Bucket(i int) Bucket { return c.buckets[i] }
+func (c *Channel) Bucket(i units.BucketIndex) Bucket { return c.buckets[i] }
 
 // CycleLen returns the broadcast cycle length in bytes.
-func (c *Channel) CycleLen() int64 { return c.cycle }
+func (c *Channel) CycleLen() units.ByteCount { return c.cycle }
 
 // StartInCycle returns bucket i's byte offset within the cycle.
-func (c *Channel) StartInCycle(i int) int64 { return c.starts[i] }
+func (c *Channel) StartInCycle(i units.BucketIndex) units.ByteOffset { return c.starts[i] }
 
 // SizeOf returns bucket i's byte size.
-func (c *Channel) SizeOf(i int) int64 { return int64(c.buckets[i].Size()) }
+func (c *Channel) SizeOf(i units.BucketIndex) units.ByteCount { return c.buckets[i].Size() }
 
 // NextBucketAt returns the index and absolute start time of the first
 // bucket whose broadcast begins at or after time t. A client tuning in
 // mid-bucket must wait for this boundary — the paper's initial wait.
-func (c *Channel) NextBucketAt(t sim.Time) (int, sim.Time) {
-	base := (int64(t) / c.cycle) * c.cycle
-	off := int64(t) - base
+func (c *Channel) NextBucketAt(t sim.Time) (units.BucketIndex, sim.Time) {
+	base := units.CycleBase(t, c.cycle)
+	off := units.CycleOffset(t, c.cycle)
 	i := sort.Search(len(c.starts), func(i int) bool { return c.starts[i] >= off })
 	if i == len(c.starts) {
-		return 0, sim.Time(base + c.cycle)
+		return 0, base + c.cycle.Span()
 	}
-	return i, sim.Time(base + c.starts[i])
+	return units.Index(i), c.starts[i].At(base)
 }
 
 // InFlightAt returns the index of the bucket being transmitted at time t
 // and its absolute start time.
-func (c *Channel) InFlightAt(t sim.Time) (int, sim.Time) {
-	base := (int64(t) / c.cycle) * c.cycle
-	off := int64(t) - base
+func (c *Channel) InFlightAt(t sim.Time) (units.BucketIndex, sim.Time) {
+	base := units.CycleBase(t, c.cycle)
+	off := units.CycleOffset(t, c.cycle)
 	// First start strictly greater than off, minus one, is the bucket
 	// containing off.
 	i := sort.Search(len(c.starts), func(i int) bool { return c.starts[i] > off })
-	return i - 1, sim.Time(base + c.starts[i-1])
+	return units.Index(i - 1), c.starts[i-1].At(base)
 }
 
 // NextOccurrence returns the absolute start time of the next broadcast of
 // bucket i beginning at or after time t.
-func (c *Channel) NextOccurrence(i int, t sim.Time) sim.Time {
-	base := (int64(t) / c.cycle) * c.cycle
-	cand := base + c.starts[i]
-	if cand < int64(t) {
-		cand += c.cycle
+func (c *Channel) NextOccurrence(i units.BucketIndex, t sim.Time) sim.Time {
+	cand := c.starts[i].At(units.CycleBase(t, c.cycle))
+	if cand < t {
+		cand += c.cycle.Span()
 	}
-	return sim.Time(cand)
+	return cand
 }
 
 // EndGiven returns the absolute finish time of bucket i when its broadcast
 // starts at the given time.
-func (c *Channel) EndGiven(i int, start sim.Time) sim.Time {
-	return start + sim.Time(c.buckets[i].Size())
+func (c *Channel) EndGiven(i units.BucketIndex, start sim.Time) sim.Time {
+	return start + c.buckets[i].Size().Span()
 }
 
 // NextCycleStart returns the absolute time at which the next cycle begins
 // at or after t.
 func (c *Channel) NextCycleStart(t sim.Time) sim.Time {
-	base := (int64(t) / c.cycle) * c.cycle
-	if base == int64(t) {
+	base := units.CycleBase(t, c.cycle)
+	if base == t {
 		return t
 	}
-	return sim.Time(base + c.cycle)
+	return base + c.cycle.Span()
 }
 
 // CountKind returns how many buckets of the given kind the cycle carries.
-func (c *Channel) CountKind(k wire.Kind) int {
+func (c *Channel) CountKind(k wire.Kind) units.BucketCount {
 	n := 0
 	for _, b := range c.buckets {
 		if b.Kind() == k {
 			n++
 		}
 	}
-	return n
+	return units.Count(n)
 }
 
 // BytesOfKind returns the total bytes per cycle used by buckets of kind k.
-func (c *Channel) BytesOfKind(k wire.Kind) int64 {
-	var n int64
+func (c *Channel) BytesOfKind(k wire.Kind) units.ByteCount {
+	var n units.ByteCount
 	for _, b := range c.buckets {
 		if b.Kind() == k {
-			n += int64(b.Size())
+			n += b.Size()
 		}
 	}
 	return n

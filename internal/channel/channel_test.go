@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 	"github.com/airindex/airindex/internal/wire"
 )
 
@@ -14,9 +15,9 @@ type fakeBucket struct {
 	kind wire.Kind
 }
 
-func (b fakeBucket) Size() int       { return b.size }
-func (b fakeBucket) Kind() wire.Kind { return b.kind }
-func (b fakeBucket) Encode() []byte  { return make([]byte, b.size) }
+func (b fakeBucket) Size() units.ByteCount { return units.Bytes(b.size) }
+func (b fakeBucket) Kind() wire.Kind       { return b.kind }
+func (b fakeBucket) Encode() []byte        { return make([]byte, b.size) }
 
 func buildTest(t *testing.T, sizes ...int) *Channel {
 	t.Helper()
@@ -36,10 +37,10 @@ func TestBuildOffsets(t *testing.T) {
 	if c.CycleLen() != 60 {
 		t.Fatalf("cycle %d, want 60", c.CycleLen())
 	}
-	wantStarts := []int64{0, 10, 30}
+	wantStarts := []units.ByteOffset{0, 10, 30}
 	for i, w := range wantStarts {
-		if c.StartInCycle(i) != w {
-			t.Fatalf("start[%d] = %d, want %d", i, c.StartInCycle(i), w)
+		if c.StartInCycle(units.Index(i)) != w {
+			t.Fatalf("start[%d] = %d, want %d", i, c.StartInCycle(units.Index(i)), w)
 		}
 	}
 	if c.NumBuckets() != 3 {
@@ -63,7 +64,7 @@ func TestNextBucketAt(t *testing.T) {
 	c := buildTest(t, 10, 20, 30)
 	cases := []struct {
 		t         sim.Time
-		wantIdx   int
+		wantIdx   units.BucketIndex
 		wantStart sim.Time
 	}{
 		{0, 0, 0},          // exactly at cycle start
@@ -91,7 +92,7 @@ func TestInFlightAt(t *testing.T) {
 	c := buildTest(t, 10, 20, 30)
 	cases := []struct {
 		t         sim.Time
-		wantIdx   int
+		wantIdx   units.BucketIndex
 		wantStart sim.Time
 	}{
 		{0, 0, 0},
@@ -184,10 +185,10 @@ func TestQuickNextBucketAt(t *testing.T) {
 		}
 		tm := sim.Time(rawT)
 		idx, start := c.NextBucketAt(tm)
-		if start < tm || int64(start-tm) > c.CycleLen() {
+		if start < tm || units.Elapsed(tm, start) > c.CycleLen() {
 			return false
 		}
-		return (int64(start) % c.CycleLen()) == c.StartInCycle(idx)
+		return units.CycleOffset(start, c.CycleLen()) == c.StartInCycle(idx)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
@@ -212,7 +213,7 @@ func TestQuickInFlightAt(t *testing.T) {
 		}
 		tm := sim.Time(rawT)
 		idx, start := c.InFlightAt(tm)
-		return start <= tm && tm < start+sim.Time(c.SizeOf(idx))
+		return start <= tm && tm < start+c.SizeOf(idx).Span()
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

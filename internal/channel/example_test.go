@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/airindex/airindex/internal/channel"
+	"github.com/airindex/airindex/internal/units"
 	"github.com/airindex/airindex/internal/wire"
 )
 
@@ -11,9 +12,9 @@ type demoBucket struct {
 	size int
 }
 
-func (b demoBucket) Size() int       { return b.size }
-func (b demoBucket) Kind() wire.Kind { return wire.KindData }
-func (b demoBucket) Encode() []byte  { return make([]byte, b.size) }
+func (b demoBucket) Size() units.ByteCount { return units.Bytes(b.size) }
+func (b demoBucket) Kind() wire.Kind       { return wire.KindData }
+func (b demoBucket) Encode() []byte        { return make([]byte, b.size) }
 
 // A client tuning in mid-bucket waits for the next complete bucket — the
 // paper's "initial wait" — and doze targets wrap around the cycle.

@@ -7,6 +7,7 @@ import (
 	"github.com/airindex/airindex/internal/datagen"
 	"github.com/airindex/airindex/internal/sim"
 	"github.com/airindex/airindex/internal/stats"
+	"github.com/airindex/airindex/internal/units"
 )
 
 // Result aggregates one simulation run. Access and tuning times are in
@@ -37,7 +38,7 @@ type Result struct {
 	AccessP95, AccessP99 float64
 	TuningP95, TuningP99 float64
 	// CycleBytes is the broadcast cycle length.
-	CycleBytes int64
+	CycleBytes units.ByteCount
 	// Params echoes the scheme's structural parameters.
 	Params map[string]float64
 	// Events is the number of simulator events processed.

@@ -11,6 +11,7 @@ import (
 	"github.com/airindex/airindex/internal/schemes/hashing"
 	"github.com/airindex/airindex/internal/schemes/onem"
 	"github.com/airindex/airindex/internal/schemes/signature"
+	"github.com/airindex/airindex/internal/units"
 	"github.com/airindex/airindex/internal/wire"
 )
 
@@ -128,7 +129,7 @@ func analytic(cfg core.Config, res *core.Result) (accessBytes, tuningBytes float
 	p := res.Params
 	switch cfg.Scheme {
 	case flat.Name:
-		bucket := float64(wire.HeaderSize + cfg.Data.RecordSize)
+		bucket := float64(wire.HeaderSize + units.Bytes(cfg.Data.RecordSize))
 		return analytical.FlatAccess(cfg.Data.NumRecords) * bucket,
 			analytical.FlatTuning(cfg.Data.NumRecords) * bucket
 	case dist.Name:
@@ -160,15 +161,19 @@ func analytic(cfg core.Config, res *core.Result) (accessBytes, tuningBytes float
 		return analytical.HashingAccess(hp) * bucket,
 			analytical.HashingTuning(hp) * bucket
 	case signature.Name:
-		dataBytes := float64(wire.HeaderSize + cfg.Data.RecordSize)
-		sigBytes := float64(wire.HeaderSize + cfg.Signature.SigBytes)
+		dataBytes := float64(wire.HeaderSize + units.Bytes(cfg.Data.RecordSize))
+		sigBytes := float64(wire.HeaderSize + units.Bytes(cfg.Signature.SigBytes))
 		fields := cfg.Data.NumAttributes + 1
 		fd := analytical.SignatureExpectedFalseDrops(cfg.Data.NumRecords,
 			cfg.Signature.SigBytes, cfg.Signature.BitsPerField, fields)
 		return analytical.SignatureAccess(cfg.Data.NumRecords, dataBytes, sigBytes),
 			analytical.SignatureTuning(cfg.Data.NumRecords, dataBytes, sigBytes, fd)
+	default:
+		// Extension schemes (bdisk, hybrid, the signature variants) have
+		// no closed form in the paper; the registry accepts any name, so
+		// an unlisted scheme is expected here, not a bug.
+		return nan()
 	}
-	return nan()
 }
 
 var nanF = func() float64 {

@@ -88,12 +88,12 @@ func ExtMultiAttribute(opt Options) ([]*Table, error) {
 		for q := 0; q < queries; q++ {
 			rec := rng.Intn(ds.Len())
 			value := ds.Record(rec).Attrs[1]
-			fa := sim.Time(rng.Int63n(fb.Channel().CycleLen()))
+			fa := sim.Time(rng.Int63n(int64(fb.Channel().CycleLen())))
 			fres, err := access.Walk(fb.Channel(), fq.NewAttrClient(1, value), fa, 0)
 			if err != nil {
 				return nil, err
 			}
-			sa := sim.Time(rng.Int63n(sb.Channel().CycleLen()))
+			sa := sim.Time(rng.Int63n(int64(sb.Channel().CycleLen())))
 			sres, err := access.Walk(sb.Channel(), sq.NewAttrClient(1, value), sa, 0)
 			if err != nil {
 				return nil, err

@@ -2,7 +2,9 @@ package lint
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
+	"regexp"
 	"sort"
 	"strings"
 )
@@ -12,11 +14,20 @@ import (
 //	//airlint:allow <analyzer> <reason>
 //
 // It silences <analyzer> diagnostics on the same line (trailing comment)
-// or on the line directly below (standalone comment). The reason is
-// mandatory — a suppression without justification is itself an error —
-// and so is being useful: a suppression that matches no diagnostic is
-// reported, so stale allowances cannot accumulate.
+// or on the line directly below (standalone comment). Standalone
+// directives stack: a run of consecutive directive-only lines all apply
+// to the first code line beneath them, so one statement can carry
+// suppressions for several analyzers. The reason is mandatory — a
+// suppression without justification is itself an error — and so is being
+// useful: a suppression that matches no diagnostic is reported, so stale
+// allowances cannot accumulate.
 const directivePrefix = "//airlint:allow"
+
+// generatedRx is the standard generated-file marker (go.dev/s/generatedcode).
+// Files carrying it before the package clause are machine output: airlint
+// skips their diagnostics entirely and ignores any directives they
+// contain, rather than demanding hand edits to generated text.
+var generatedRx = regexp.MustCompile(`^// Code generated .* DO NOT EDIT\.$`)
 
 type directive struct {
 	pos      token.Position
@@ -25,9 +36,27 @@ type directive struct {
 	used     bool
 }
 
+// isGenerated reports whether f carries the standard generated-code
+// header before its package clause.
+func isGenerated(fset *token.FileSet, f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if generatedRx.MatchString(c.Text) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // applyDirectives filters diags through the package's //airlint:allow
 // comments and appends any directive errors (unknown analyzer, missing
-// reason, unused suppression) as "directive" diagnostics.
+// reason, unused suppression) as "directive" diagnostics. Generated
+// files are exempt: their diagnostics are dropped and their directives
+// ignored.
 func applyDirectives(pkg *Package, diags []Diagnostic) []Diagnostic {
 	known := make(map[string]bool)
 	for _, a := range Analyzers() {
@@ -39,9 +68,39 @@ func applyDirectives(pkg *Package, diags []Diagnostic) []Diagnostic {
 	}
 	sort.Strings(names)
 
+	generated := make(map[string]bool)
+	// codeLines[file] holds every line on which a non-comment token
+	// appears; a directive on a line with no code is "standalone" and
+	// participates in stacking.
+	codeLines := make(map[string]map[int]bool)
+	for _, f := range pkg.Files {
+		filename := pkg.Fset.Position(f.Pos()).Filename
+		if isGenerated(pkg.Fset, f) {
+			generated[filename] = true
+			continue
+		}
+		lines := make(map[int]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if _, ok := n.(*ast.Comment); ok {
+				return false
+			}
+			lines[pkg.Fset.Position(n.Pos()).Line] = true
+			return true
+		})
+		codeLines[filename] = lines
+	}
+
 	var dirs []*directive
 	var errs []Diagnostic
+	// byLine indexes directives per file per line for the stacking walk.
+	byLine := make(map[string]map[int][]*directive)
 	for _, f := range pkg.Files {
+		if generated[pkg.Fset.Position(f.Pos()).Filename] {
+			continue
+		}
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
@@ -65,19 +124,49 @@ func applyDirectives(pkg *Package, diags []Diagnostic) []Diagnostic {
 						Message: "//airlint:allow " + fields[0] + " needs a reason"})
 					continue
 				}
-				dirs = append(dirs, &directive{pos: pos, analyzer: fields[0], reason: strings.Join(fields[1:], " ")})
+				d := &directive{pos: pos, analyzer: fields[0], reason: strings.Join(fields[1:], " ")}
+				dirs = append(dirs, d)
+				if byLine[pos.Filename] == nil {
+					byLine[pos.Filename] = make(map[int][]*directive)
+				}
+				byLine[pos.Filename][pos.Line] = append(byLine[pos.Filename][pos.Line], d)
 			}
 		}
 	}
 
+	// covering returns the directives that apply to a diagnostic at
+	// (file, line): trailing directives on the same line, plus the run of
+	// standalone directive-only lines directly above.
+	covering := func(file string, line int) []*directive {
+		perLine := byLine[file]
+		if perLine == nil {
+			return nil
+		}
+		out := append([]*directive(nil), perLine[line]...)
+		for l := line - 1; ; l-- {
+			ds := perLine[l]
+			if len(ds) == 0 {
+				break
+			}
+			out = append(out, ds...)
+			if codeLines[file][l] {
+				// A trailing directive covers the line below it (its own
+				// statement continues there in spirit) but the stack stops
+				// at code.
+				break
+			}
+		}
+		return out
+	}
+
 	var kept []Diagnostic
 	for _, d := range diags {
+		if generated[d.Pos.Filename] {
+			continue
+		}
 		suppressed := false
-		for _, dir := range dirs {
-			if dir.analyzer != d.Analyzer || dir.pos.Filename != d.Pos.Filename {
-				continue
-			}
-			if dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1 {
+		for _, dir := range covering(d.Pos.Filename, d.Pos.Line) {
+			if dir.analyzer == d.Analyzer {
 				dir.used = true
 				suppressed = true
 			}
@@ -89,7 +178,7 @@ func applyDirectives(pkg *Package, diags []Diagnostic) []Diagnostic {
 	for _, dir := range dirs {
 		if !dir.used {
 			errs = append(errs, Diagnostic{Pos: dir.pos, Analyzer: "directive",
-				Message: "unused //airlint:allow " + dir.analyzer + " (no matching diagnostic on this or the next line)"})
+				Message: "unused //airlint:allow " + dir.analyzer + " (no matching diagnostic at the lines it covers)"})
 		}
 	}
 	return append(kept, errs...)

@@ -10,9 +10,15 @@
 //     stats packages (see floatcompare.go);
 //   - confinement: no goroutines, WaitGroups or channel fan-out outside
 //     the sanctioned concurrency layer (see confinement.go);
+//   - unitsafety: no conversions or arithmetic that launder one
+//     internal/units measurement unit into another (see unitsafety.go);
+//   - exhaustive: switches over bucket/step kinds must cover every
+//     constant, and scheme-name dispatches must carry a default
+//     (see exhaustive.go);
 //   - directive: `//airlint:allow <analyzer> <reason>` suppressions,
-//     with unknown or unused suppressions reported as errors
-//     (see directive.go).
+//     with unknown or unused suppressions reported as errors; files
+//     carrying a standard "Code generated ... DO NOT EDIT." header are
+//     exempt from analysis (see directive.go).
 //
 // Everything is built on the standard library only (go/ast, go/parser,
 // go/token, go/types); there are no module dependencies.
@@ -99,7 +105,7 @@ func underAny(rel string, dirs []string) bool {
 
 // Analyzers returns the full airlint suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DeterminismAnalyzer, FloatCompareAnalyzer, ConfinementAnalyzer}
+	return []*Analyzer{DeterminismAnalyzer, FloatCompareAnalyzer, ConfinementAnalyzer, UnitSafetyAnalyzer, ExhaustiveAnalyzer}
 }
 
 // Check runs every analyzer over the package, applies `//airlint:allow`

@@ -68,10 +68,37 @@ func TestAnalyzers(t *testing.T) {
 			"badgo.go:9: confinement",
 			"badgo.go:12: confinement",
 		}},
+		// confinement: a method-value goroutine is still a goroutine.
+		{"internal/core/badmethodgo", []string{
+			"badmethodgo.go:12: confinement",
+		}},
 		// the sanctioned concurrency file may use all of it.
 		{"internal/experiments", nil},
+		// unitsafety: cross-unit conversions ×2, raw constant, unit×unit.
+		{"internal/channel/badunits", []string{
+			"badunits.go:12: unitsafety",
+			"badunits.go:13: unitsafety",
+			"badunits.go:19: unitsafety",
+			"badunits.go:24: unitsafety",
+		}},
+		// unitsafety negatives: constructors, unit methods, conversions
+		// out, untyped-constant arithmetic.
+		{"internal/channel/goodunits", nil},
+		// exhaustive: incomplete Kind switch, defaultless scheme dispatch.
+		{"internal/core/badswitch", []string{
+			"badswitch.go:12: exhaustive",
+			"badswitch.go:23: exhaustive",
+		}},
+		// exhaustive negatives: full coverage, explicit defaults, plain
+		// string switches.
+		{"internal/core/goodswitch", nil},
 		// working suppressions: trailing and preceding-line directives.
 		{"directives/ok", nil},
+		// a stack of standalone directives covers one line for several
+		// analyzers at once.
+		{"directives/stacked", nil},
+		// generated files: findings and directives are both ignored.
+		{"directives/generated", nil},
 		// unknown analyzer name: directive error, finding stays.
 		{"directives/unknown", []string{
 			"unknown.go:7: determinism",
@@ -138,7 +165,7 @@ func TestUnknownDirectiveListsKnownAnalyzers(t *testing.T) {
 	if dirDiag == nil {
 		t.Fatal("no directive diagnostic reported")
 	}
-	for _, name := range []string{"determinism", "floatcompare", "confinement"} {
+	for _, name := range []string{"determinism", "floatcompare", "confinement", "unitsafety", "exhaustive"} {
 		if !strings.Contains(dirDiag.Message, name) {
 			t.Errorf("unknown-directive message %q does not list analyzer %q", dirDiag.Message, name)
 		}

@@ -7,11 +7,14 @@ import (
 	"go/parser"
 	"go/token"
 	"go/types"
+	"io"
 	"os"
+	"os/exec"
 	"path"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked (non-test) package.
@@ -26,15 +29,18 @@ type Package struct {
 }
 
 // Loader parses and type-checks packages of a single module using only
-// the standard library. Standard-library imports are resolved from
-// source via go/importer's "source" compiler; module-internal imports
-// are resolved recursively through the loader itself.
+// the standard library. Standard-library imports are resolved from the
+// toolchain's compiled export data when available (see stdImporter) and
+// from source otherwise; module-internal imports are resolved
+// recursively through the loader itself. Every package is type-checked
+// exactly once and the result is shared by all analyzers and by every
+// importer of that package.
 type Loader struct {
 	ModuleRoot string // absolute path of the directory holding go.mod
 	ModulePath string // module path from go.mod
 	Fset       *token.FileSet
 
-	std  types.ImporterFrom
+	std  *stdImporter
 	pkgs map[string]*Package // cache keyed by RelPath
 	load map[string]bool     // in-flight loads, for import-cycle detection
 }
@@ -48,10 +54,60 @@ func NewLoader(moduleRoot, modulePath string) *Loader {
 		ModuleRoot: moduleRoot,
 		ModulePath: modulePath,
 		Fset:       fset,
-		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		std:        &stdImporter{fset: fset},
 		pkgs:       make(map[string]*Package),
 		load:       make(map[string]bool),
 	}
+}
+
+// stdImporter resolves standard-library imports. Type-checking a
+// package from source re-parses and re-checks its whole import closure,
+// which dominated airlint's wall clock; the installed toolchain already
+// ships the same information as compiled export data. The importer asks
+// `go list -export` once for the export file of every std package and
+// reads those, falling back to the source importer when the go tool is
+// unavailable (or a package has no export data).
+type stdImporter struct {
+	fset *token.FileSet
+
+	once    sync.Once
+	exports map[string]string // import path -> export data file
+	gc      types.ImporterFrom
+	source  types.ImporterFrom
+}
+
+func (si *stdImporter) init() {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := si.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	out, err := exec.Command("go", "list", "-export",
+		"-f", `{{if .Export}}{{.ImportPath}}={{.Export}}{{end}}`, "std").Output()
+	if err == nil {
+		si.exports = make(map[string]string)
+		for _, line := range strings.Split(string(out), "\n") {
+			if ip, file, ok := strings.Cut(line, "="); ok {
+				si.exports[ip] = file
+			}
+		}
+		si.gc = importer.ForCompiler(si.fset, "gc", lookup).(types.ImporterFrom)
+	}
+}
+
+func (si *stdImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	si.once.Do(si.init)
+	if si.gc != nil {
+		if pkg, err := si.gc.ImportFrom(path, dir, mode); err == nil {
+			return pkg, nil
+		}
+	}
+	if si.source == nil {
+		si.source = importer.ForCompiler(si.fset, "source", nil).(types.ImporterFrom)
+	}
+	return si.source.ImportFrom(path, dir, mode)
 }
 
 // FindModule locates the enclosing module of dir by walking up to the

@@ -1,0 +1,12 @@
+// Package stacked suppresses two analyzers on one code line with a run
+// of standalone directive-only lines.
+package stacked
+
+import "time"
+
+// Launch needs both allowances: the go statement and the clock read.
+func Launch() {
+	//airlint:allow confinement fixture exercises stacked directives
+	//airlint:allow determinism fixture exercises stacked directives
+	go func() { _ = time.Now() }()
+}

@@ -1,0 +1,25 @@
+// Package badunits launders measurement units; each marked line is a
+// unitsafety finding.
+package badunits
+
+import (
+	"example.com/airlintfix/internal/sim"
+	"example.com/airlintfix/internal/units"
+)
+
+// Launder converts between unit types instead of using the bridges.
+func Launder(c units.ByteCount, t sim.Time) units.ByteOffset {
+	off := units.ByteOffset(c) // cross-unit conversion
+	_ = units.ByteCount(t)     // byte-clock into a unit
+	return off
+}
+
+// Raw bypasses the constructors with a bare conversion.
+func Raw() units.ByteCount {
+	return units.ByteCount(64)
+}
+
+// Area multiplies two dimensioned operands.
+func Area(a, b units.ByteCount) int64 {
+	return int64(a * b)
+}

@@ -1,0 +1,23 @@
+// Package goodunits moves between units only through the sanctioned
+// API: constructors in, methods across, plain conversions out.
+package goodunits
+
+import (
+	"example.com/airlintfix/internal/sim"
+	"example.com/airlintfix/internal/units"
+)
+
+const header = 8
+
+// Advance exercises the allowed patterns end to end.
+func Advance(start sim.Time, c units.ByteCount, i units.BucketIndex) sim.Time {
+	size := units.Bytes(64) + units.Bytes64(int64(header))
+	end := start + size.Span()
+	if int(i)%2 == 0 {
+		end += c.Times(3).Span()
+	}
+	_ = units.Elapsed(start, end)
+	_ = size.Div(c)
+	_ = float64(c)
+	return sim.Time(int64(end))
+}

@@ -1,0 +1,13 @@
+// Package badmethodgo launches a goroutine through a method value,
+// which confinement must catch just like a function literal.
+package badmethodgo
+
+type worker struct{ n int }
+
+func (w *worker) run() { w.n++ }
+
+// Spawn starts the goroutine outside the sanctioned file.
+func Spawn() {
+	w := &worker{}
+	go w.run()
+}

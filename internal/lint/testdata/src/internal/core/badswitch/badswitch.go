@@ -1,0 +1,28 @@
+// Package badswitch dispatches without covering the vocabulary; both
+// switches are exhaustive findings.
+package badswitch
+
+import (
+	"example.com/airlintfix/internal/schemes/flat"
+	"example.com/airlintfix/internal/wire"
+)
+
+// Describe misses KindHash and KindSignature and has no default.
+func Describe(k wire.Kind) string {
+	switch k {
+	case wire.KindData:
+		return "data"
+	case wire.KindIndex:
+		return "index"
+	}
+	return ""
+}
+
+// Pick dispatches on a registry name without a default arm.
+func Pick(name string) int {
+	switch name {
+	case flat.Name:
+		return 1
+	}
+	return 0
+}

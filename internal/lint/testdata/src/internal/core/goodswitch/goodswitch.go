@@ -1,0 +1,52 @@
+// Package goodswitch covers its dispatch vocabularies: full case lists,
+// explicit defaults, and string switches that name no scheme constants.
+package goodswitch
+
+import (
+	"example.com/airlintfix/internal/schemes/flat"
+	"example.com/airlintfix/internal/wire"
+)
+
+// Full lists every kind.
+func Full(k wire.Kind) string {
+	switch k {
+	case wire.KindData:
+		return "data"
+	case wire.KindIndex:
+		return "index"
+	case wire.KindHash:
+		return "hash"
+	case wire.KindSignature:
+		return "sig"
+	}
+	return ""
+}
+
+// Defaulted handles the unexpected explicitly.
+func Defaulted(k wire.Kind) string {
+	switch k {
+	case wire.KindData:
+		return "data"
+	default:
+		return "other"
+	}
+}
+
+// Registry carries the mandatory default arm.
+func Registry(name string) int {
+	switch name {
+	case flat.Name:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Plain string switches that name no scheme constants are untouched.
+func Plain(s string) bool {
+	switch s {
+	case "on":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,6 @@
+// Package flat mirrors a scheme package: Name is the key it registers
+// under, and exhaustive treats switches naming it as open dispatches.
+package flat
+
+// Name is the registry key of the scheme.
+const Name = "flat"

@@ -1,0 +1,6 @@
+// Package sim mirrors the production byte-clock for fixtures: the unit
+// analyzers recognize sim.Time by its package-path suffix.
+package sim
+
+// Time is virtual time measured in bytes broadcast.
+type Time int64

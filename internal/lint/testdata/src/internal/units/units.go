@@ -1,0 +1,28 @@
+// Package units mirrors the production measurement-unit types for
+// fixtures. unitsafety recognizes them by package-path suffix, and this
+// package (like the real one) is exempt from the analyzer so it can
+// define the sanctioned bridges.
+package units
+
+import "example.com/airlintfix/internal/sim"
+
+type (
+	ByteCount   int64
+	ByteOffset  int64
+	BucketIndex int
+	BucketCount int
+)
+
+func Bytes(n int) ByteCount      { return ByteCount(n) }
+func Bytes64(n int64) ByteCount  { return ByteCount(n) }
+func Offset64(n int64) ByteOffset { return ByteOffset(n) }
+func Index(n int) BucketIndex    { return BucketIndex(n) }
+func Count(n int) BucketCount    { return BucketCount(n) }
+
+func (c ByteCount) Span() sim.Time        { return sim.Time(c) }
+func (c ByteCount) Times(k int) ByteCount { return c * ByteCount(k) }
+func (c ByteCount) Div(m ByteCount) int   { return int(c / m) }
+
+func Elapsed(from, to sim.Time) ByteCount { return ByteCount(to - from) }
+
+func (o ByteOffset) At(base sim.Time) sim.Time { return base + sim.Time(o) }

@@ -1,0 +1,13 @@
+// Package wire mirrors the production bucket-kind enum for fixtures:
+// exhaustive treats Kind-suffixed types from internal/wire as closed.
+package wire
+
+// Kind tags the bucket payloads on the broadcast channel.
+type Kind uint8
+
+const (
+	KindData Kind = iota
+	KindIndex
+	KindHash
+	KindSignature
+)

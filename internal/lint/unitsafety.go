@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// UnitSafetyAnalyzer enforces the conversion contract of internal/units
+// (see its package comment and DESIGN.md §7). Go's type system already
+// rejects mixed-unit arithmetic outright; what it cannot reject is a
+// conversion that launders one unit into another, because every unit is
+// an integer underneath. This analyzer closes that hole:
+//
+//   - converting one unit type into another (including into or out of
+//     sim.Time) is flagged everywhere outside internal/units and
+//     internal/sim — cross-unit movement must go through the sanctioned
+//     methods (Span, Elapsed, At, Advance, Extent, CycleBase, ...);
+//   - converting a raw constant into a unit type is flagged — numbers
+//     enter the unit system through the constructors Bytes, Bytes64,
+//     Offset64, Index and Count, never through bare conversions;
+//   - multiplying or dividing two non-constant values of the same unit
+//     is flagged — bytes × bytes is not bytes; scaling goes through
+//     Times, Div and Mod.
+//
+// Conversions out of the unit system (int(n), int64(n), float64(n)) are
+// always allowed: sinks like stats accumulators and fmt are unit-blind.
+var UnitSafetyAnalyzer = &Analyzer{
+	Name: "unitsafety",
+	Doc:  "forbid conversions and arithmetic that launder one measurement unit into another",
+	Run:  runUnitSafety,
+}
+
+// unitExempt lists the packages allowed to convert freely between unit
+// types: the units package defines the sanctioned bridges, and sim owns
+// the byte-clock the bridges target.
+var unitExempt = []string{
+	"internal/units",
+	"internal/sim",
+}
+
+// unitTypeName returns a short display name ("units.ByteCount",
+// "sim.Time") when t is one of the measurement unit types, or "".
+// Types are recognized by package-path suffix so fixture modules that
+// mirror the real layout exercise the analyzer exactly like production
+// code.
+func unitTypeName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	path, name := obj.Pkg().Path(), obj.Name()
+	switch {
+	case pathEndsWith(path, "internal/units"):
+		switch name {
+		case "ByteCount", "ByteOffset", "BucketIndex", "BucketCount":
+			return "units." + name
+		}
+	case pathEndsWith(path, "internal/sim"):
+		if name == "Time" {
+			return "sim.Time"
+		}
+	}
+	return ""
+}
+
+func pathEndsWith(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+func runUnitSafety(pass *Pass) {
+	if underAny(pass.RelPath, unitExempt) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkUnitConversion(pass, n)
+			case *ast.BinaryExpr:
+				checkUnitArithmetic(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkUnitConversion flags T(x) where T is a unit type and x is another
+// unit type (laundering) or a constant (bypassing the constructors).
+func checkUnitConversion(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	fun := ast.Unparen(call.Fun)
+	tv, ok := pass.Info.Types[fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	dst := unitTypeName(tv.Type)
+	if dst == "" {
+		return
+	}
+	argTV, ok := pass.Info.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	if src := unitTypeName(argTV.Type); src != "" && src != dst {
+		pass.Reportf(call.Pos(),
+			"conversion %s(%s) launders one unit into another; cross-unit movement goes through the units methods (Span, Elapsed, At, Advance, Extent, CycleBase, CycleOffset)",
+			dst, src)
+		return
+	}
+	if dst != "sim.Time" && argTV.Value != nil {
+		pass.Reportf(call.Pos(),
+			"raw constant converted to %s; numbers enter the unit system through the constructors units.Bytes, Bytes64, Offset64, Index and Count",
+			dst)
+	}
+}
+
+// checkUnitArithmetic flags x*y and x/y where both operands carry the
+// same unit type and neither is a constant: the product of two byte
+// counts is not a byte count, so scaling must use Times/Div/Mod, which
+// keep one operand dimensionless.
+func checkUnitArithmetic(pass *Pass, bin *ast.BinaryExpr) {
+	if bin.Op.String() != "*" && bin.Op.String() != "/" {
+		return
+	}
+	xt, okX := pass.Info.Types[bin.X]
+	yt, okY := pass.Info.Types[bin.Y]
+	if !okX || !okY || xt.Value != nil || yt.Value != nil {
+		return
+	}
+	name := unitTypeName(xt.Type)
+	if name == "" || name != unitTypeName(yt.Type) {
+		return
+	}
+	pass.Reportf(bin.Pos(),
+		"%s %s %s mixes two dimensioned operands; use Times, Div or Mod so one side stays dimensionless",
+		name, bin.Op, name)
+}

@@ -19,6 +19,7 @@ import (
 	"github.com/airindex/airindex/internal/channel"
 	"github.com/airindex/airindex/internal/datagen"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 	"github.com/airindex/airindex/internal/wire"
 )
 
@@ -73,7 +74,9 @@ type dataBucket struct {
 	ds     *datagen.Dataset
 }
 
-func (b *dataBucket) Size() int       { return wire.HeaderSize + b.ds.Config().RecordSize }
+func (b *dataBucket) Size() units.ByteCount {
+	return wire.HeaderSize + units.Bytes(b.ds.Config().RecordSize)
+}
 func (b *dataBucket) Kind() wire.Kind { return wire.KindData }
 
 func (b *dataBucket) Encode() []byte {
@@ -207,12 +210,12 @@ type client struct {
 	read int
 }
 
-func (c *client) OnBucket(i int, _ sim.Time) access.Step {
+func (c *client) OnBucket(i units.BucketIndex, _ sim.Time) access.Step {
 	c.read++
 	if c.b.ds.KeyAt(c.b.recOf[i]) == c.key {
 		return access.Done(true)
 	}
-	if c.read >= c.b.ch.NumBuckets() {
+	if units.Count(c.read) >= c.b.ch.NumBuckets() {
 		return access.Done(false)
 	}
 	return access.Next()

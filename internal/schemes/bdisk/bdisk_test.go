@@ -6,6 +6,7 @@ import (
 	"github.com/airindex/airindex/internal/access"
 	"github.com/airindex/airindex/internal/datagen"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 )
 
 func dataset(t *testing.T, n int) *datagen.Dataset {
@@ -78,18 +79,18 @@ func TestChunksInterleavePerMinorCycle(t *testing.T) {
 	// between consecutive appearances of a hot record is about a minor
 	// cycle, not the whole major cycle.
 	_, b := build(t, 400)
-	positions := map[int][]int64{}
+	positions := map[int][]units.ByteOffset{}
 	for i, r := range b.recOf {
-		positions[r] = append(positions[r], b.Channel().StartInCycle(i))
+		positions[r] = append(positions[r], b.Channel().StartInCycle(units.Index(i)))
 	}
 	cycle := b.Channel().CycleLen()
-	minor := cycle / int64(b.minors)
+	minor := int64(cycle.Div(units.Bytes(b.minors)))
 	for r, pos := range positions {
 		if b.DiskOf(r) != 0 {
 			continue
 		}
 		for j := 1; j < len(pos); j++ {
-			gap := pos[j] - pos[j-1]
+			gap := int64(pos[j] - pos[j-1])
 			if gap > 2*minor {
 				t.Fatalf("hot record %d has a %d-byte gap (minor cycle %d)", r, gap, minor)
 			}
@@ -101,7 +102,7 @@ func TestFindsEveryKey(t *testing.T) {
 	ds, b := build(t, 500)
 	rng := sim.NewRNG(4)
 	for i := 0; i < ds.Len(); i += 3 {
-		arrival := sim.Time(rng.Int63n(b.Channel().CycleLen()))
+		arrival := sim.Time(rng.Int63n(int64(b.Channel().CycleLen())))
 		res, err := access.Walk(b.Channel(), b.NewClient(ds.KeyAt(i)), arrival, 0)
 		if err != nil {
 			t.Fatal(err)
@@ -121,7 +122,7 @@ func TestMissingKeyFails(t *testing.T) {
 	if res.Found {
 		t.Fatal("missing key reported found")
 	}
-	if res.Probes != b.Channel().NumBuckets() {
+	if units.Count(res.Probes) != b.Channel().NumBuckets() {
 		t.Fatalf("missing key probes = %d, want the full major cycle %d", res.Probes, b.Channel().NumBuckets())
 	}
 }
@@ -133,7 +134,7 @@ func TestHotRecordsWaitLess(t *testing.T) {
 		var sum float64
 		const n = 300
 		for i := 0; i < n; i++ {
-			arrival := sim.Time(rng.Int63n(b.Channel().CycleLen()))
+			arrival := sim.Time(rng.Int63n(int64(b.Channel().CycleLen())))
 			res, err := access.Walk(b.Channel(), b.NewClient(ds.KeyAt(rec)), arrival, 0)
 			if err != nil {
 				t.Fatal(err)
@@ -151,9 +152,9 @@ func TestHotRecordsWaitLess(t *testing.T) {
 
 func TestEncodeSizes(t *testing.T) {
 	_, b := build(t, 200)
-	for i := 0; i < b.Channel().NumBuckets(); i++ {
-		bk := b.Channel().Bucket(i)
-		if len(bk.Encode()) != bk.Size() {
+	for i := 0; i < int(b.Channel().NumBuckets()); i++ {
+		bk := b.Channel().Bucket(units.Index(i))
+		if units.Bytes(len(bk.Encode())) != bk.Size() {
 			t.Fatalf("bucket %d encode/size mismatch", i)
 		}
 	}
@@ -165,7 +166,7 @@ func TestSingleDiskEqualsFlatOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if b.Channel().NumBuckets() != ds.Len() {
+	if int(b.Channel().NumBuckets()) != ds.Len() {
 		t.Fatalf("single disk should broadcast each record once, got %d slots", b.Channel().NumBuckets())
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"github.com/airindex/airindex/internal/datagen"
 	"github.com/airindex/airindex/internal/schemes/treeidx"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 )
 
 // Name is the scheme's registry name.
@@ -296,12 +297,13 @@ type client struct {
 	descended bool
 }
 
-func (c *client) OnBucket(i int, end sim.Time) access.Step {
+func (c *client) OnBucket(i units.BucketIndex, end sim.Time) access.Step {
 	b := c.b
 	switch c.phase {
 	case phaseFirstProbe:
 		c.phase = phaseNavigate
-		return access.DozeAt(b.nextSeg[i], b.ch.NextOccurrence(b.nextSeg[i], end))
+		nxt := units.Index(b.nextSeg[i])
+		return access.DozeAt(nxt, b.ch.NextOccurrence(nxt, end))
 
 	case phaseNavigate:
 		node := b.nodeOf[i]
@@ -323,7 +325,7 @@ func (c *client) OnBucket(i int, end sim.Time) access.Step {
 			if node.Parent == nil {
 				return access.Done(false)
 			}
-			up := ib.Ctrl[node.Level-1]
+			up := units.Index(ib.Ctrl[node.Level-1])
 			return access.DozeAt(up, b.ch.NextOccurrence(up, end))
 		}
 		if node.IsLeaf() {
@@ -332,11 +334,12 @@ func (c *client) OnBucket(i int, end sim.Time) access.Step {
 				return access.Done(false)
 			}
 			c.phase = phaseDownload
-			return access.DozeAt(ib.Local[e], b.ch.NextOccurrence(ib.Local[e], end))
+			tgt := units.Index(ib.Local[e])
+			return access.DozeAt(tgt, b.ch.NextOccurrence(tgt, end))
 		}
-		j := node.ChildFor(c.key)
+		tgt := units.Index(ib.Local[node.ChildFor(c.key)])
 		c.descended = true
-		return access.DozeAt(ib.Local[j], b.ch.NextOccurrence(ib.Local[j], end))
+		return access.DozeAt(tgt, b.ch.NextOccurrence(tgt, end))
 
 	case phaseDownload:
 		if b.recOf[i] < 0 || b.ds.KeyAt(b.recOf[i]) != c.key {

@@ -6,6 +6,7 @@ import (
 	"github.com/airindex/airindex/internal/access"
 	"github.com/airindex/airindex/internal/datagen"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 	"github.com/airindex/airindex/internal/wire"
 )
 
@@ -141,7 +142,7 @@ func TestFindsEveryKeyEveryR(t *testing.T) {
 		}
 		rng := sim.NewRNG(int64(100 + r))
 		for i := 0; i < ds.Len(); i += 3 {
-			arrival := sim.Time(rng.Int63n(b.Channel().CycleLen()))
+			arrival := sim.Time(rng.Int63n(int64(b.Channel().CycleLen())))
 			res, err := access.Walk(b.Channel(), b.NewClient(ds.KeyAt(i)), arrival, 0)
 			if err != nil {
 				t.Fatalf("r=%d key %d: %v", r, ds.KeyAt(i), err)
@@ -157,7 +158,7 @@ func TestMissingKeysFail(t *testing.T) {
 	ds, b := build(t, 400, -1)
 	rng := sim.NewRNG(31)
 	for i := 0; i < ds.Len(); i += 11 {
-		arrival := sim.Time(rng.Int63n(b.Channel().CycleLen()))
+		arrival := sim.Time(rng.Int63n(int64(b.Channel().CycleLen())))
 		res, err := access.Walk(b.Channel(), b.NewClient(ds.MissingKeyNear(i)), arrival, 0)
 		if err != nil {
 			t.Fatal(err)
@@ -194,7 +195,7 @@ func TestTuningBound(t *testing.T) {
 	rng := sim.NewRNG(37)
 	for i := 0; i < 400; i++ {
 		key := ds.KeyAt(rng.Intn(ds.Len()))
-		arrival := sim.Time(rng.Int63n(b.Channel().CycleLen()))
+		arrival := sim.Time(rng.Int63n(int64(b.Channel().CycleLen())))
 		res, err := access.Walk(b.Channel(), b.NewClient(key), arrival, 0)
 		if err != nil {
 			t.Fatal(err)
@@ -228,7 +229,7 @@ func TestReplicationReducesAccessVersusRZero(t *testing.T) {
 		const n = 400
 		for i := 0; i < n; i++ {
 			key := ds.KeyAt(rng.Intn(ds.Len()))
-			arrival := sim.Time(rng.Int63n(b.Channel().CycleLen()))
+			arrival := sim.Time(rng.Int63n(int64(b.Channel().CycleLen())))
 			res, err := access.Walk(b.Channel(), b.NewClient(key), arrival, 0)
 			if err != nil {
 				t.Fatal(err)
@@ -264,9 +265,9 @@ func TestSegmentStartsAreIndexBuckets(t *testing.T) {
 func TestEncodeSizeAgreement(t *testing.T) {
 	_, b := build(t, 300, -1)
 	ch := b.Channel()
-	for i := 0; i < ch.NumBuckets(); i++ {
-		bk := ch.Bucket(i)
-		if len(bk.Encode()) != bk.Size() || bk.Size() != b.Layout().BucketSize {
+	for i := 0; i < int(ch.NumBuckets()); i++ {
+		bk := ch.Bucket(units.Index(i))
+		if units.Bytes(len(bk.Encode())) != bk.Size() || bk.Size() != b.Layout().BucketSize {
 			t.Fatalf("bucket %d encode/size mismatch", i)
 		}
 	}
@@ -281,8 +282,8 @@ func TestInvalidR(t *testing.T) {
 
 func TestAccessFromEveryArrivalBucket(t *testing.T) {
 	ds, b := build(t, 150, -1)
-	for p := 0; p < b.Channel().NumBuckets(); p += 2 {
-		arrival := sim.Time(b.Channel().StartInCycle(p) + 1)
+	for p := 0; p < int(b.Channel().NumBuckets()); p += 2 {
+		arrival := b.Channel().StartInCycle(units.Index(p)).At(1)
 		for _, i := range []int{0, 75, 149} {
 			res, err := access.Walk(b.Channel(), b.NewClient(ds.KeyAt(i)), arrival, 0)
 			if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"github.com/airindex/airindex/internal/datagen"
 	"github.com/airindex/airindex/internal/schemes/treeidx"
+	"github.com/airindex/airindex/internal/units"
 )
 
 // nextInstanceAfter reproduces the expected "next occurrence strictly
@@ -47,7 +48,7 @@ func checkPointers(t *testing.T, ds *datagen.Dataset, b *Broadcast) {
 	for _, s := range b.segStarts {
 		segSet[s] = true
 	}
-	for i := 0; i < ch.NumBuckets(); i++ {
+	for i := 0; i < int(ch.NumBuckets()); i++ {
 		// Next-segment pointers: a segment start strictly after i (or the
 		// wrap to segment 0).
 		ns := b.nextSeg[i]
@@ -65,7 +66,7 @@ func checkPointers(t *testing.T, ds *datagen.Dataset, b *Broadcast) {
 			t.Fatalf("bucket %d nextSeg %d, want %d", i, ns, wantNS)
 		}
 
-		ib, ok := ch.Bucket(i).(*treeidx.IndexBucket)
+		ib, ok := ch.Bucket(units.Index(i)).(*treeidx.IndexBucket)
 		if !ok {
 			continue
 		}
@@ -126,8 +127,8 @@ func TestLastKeyFieldMonotone(t *testing.T) {
 	}
 	ch := b.Channel()
 	last := treeidx.NoKey
-	for i := 0; i < ch.NumBuckets(); i++ {
-		if ib, ok := ch.Bucket(i).(*treeidx.IndexBucket); ok {
+	for i := 0; i < int(ch.NumBuckets()); i++ {
+		if ib, ok := ch.Bucket(units.Index(i)).(*treeidx.IndexBucket); ok {
 			if ib.LastKey != last {
 				t.Fatalf("bucket %d LastKey %d, want %d", i, ib.LastKey, last)
 			}
@@ -148,7 +149,7 @@ func TestEveryRecordExactlyOneDataBucket(t *testing.T) {
 		t.Fatal(err)
 	}
 	seen := make(map[int]int)
-	for i := 0; i < b.Channel().NumBuckets(); i++ {
+	for i := 0; i < int(b.Channel().NumBuckets()); i++ {
 		if r := b.recOf[i]; r >= 0 {
 			seen[r]++
 		}

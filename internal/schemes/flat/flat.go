@@ -15,6 +15,7 @@ import (
 	"github.com/airindex/airindex/internal/channel"
 	"github.com/airindex/airindex/internal/datagen"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 	"github.com/airindex/airindex/internal/wire"
 )
 
@@ -28,8 +29,8 @@ type dataBucket struct {
 	ds  *datagen.Dataset
 }
 
-func (b *dataBucket) Size() int {
-	return wire.HeaderSize + b.ds.Config().RecordSize
+func (b *dataBucket) Size() units.ByteCount {
+	return wire.HeaderSize + units.Bytes(b.ds.Config().RecordSize)
 }
 
 func (b *dataBucket) Kind() wire.Kind { return wire.KindData }
@@ -96,12 +97,12 @@ type client struct {
 	read int
 }
 
-func (c *client) OnBucket(i int, _ sim.Time) access.Step {
+func (c *client) OnBucket(i units.BucketIndex, _ sim.Time) access.Step {
 	c.read++
-	if c.b.ds.KeyAt(i) == c.key {
+	if c.b.ds.KeyAt(int(i)) == c.key {
 		return access.Done(true)
 	}
-	if c.read >= c.b.ch.NumBuckets() {
+	if units.Count(c.read) >= c.b.ch.NumBuckets() {
 		// A full cycle scanned without a match: the record is not being
 		// broadcast.
 		return access.Done(false)
@@ -123,13 +124,13 @@ type attrClient struct {
 	read  int
 }
 
-func (c *attrClient) OnBucket(i int, _ sim.Time) access.Step {
+func (c *attrClient) OnBucket(i units.BucketIndex, _ sim.Time) access.Step {
 	c.read++
-	attrs := c.b.ds.Record(i).Attrs
+	attrs := c.b.ds.Record(int(i)).Attrs
 	if c.attr >= 0 && c.attr < len(attrs) && attrs[c.attr] == c.value {
 		return access.Done(true)
 	}
-	if c.read >= c.b.ch.NumBuckets() {
+	if units.Count(c.read) >= c.b.ch.NumBuckets() {
 		return access.Done(false)
 	}
 	return access.Next()

@@ -6,6 +6,7 @@ import (
 	"github.com/airindex/airindex/internal/access"
 	"github.com/airindex/airindex/internal/datagen"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 )
 
 func build(t *testing.T, n int) (*datagen.Dataset, *Broadcast) {
@@ -23,9 +24,9 @@ func build(t *testing.T, n int) (*datagen.Dataset, *Broadcast) {
 
 func TestBucketSizeMatchesEncoding(t *testing.T) {
 	_, b := build(t, 50)
-	for i := 0; i < b.Channel().NumBuckets(); i++ {
-		bk := b.Channel().Bucket(i)
-		if got := len(bk.Encode()); got != bk.Size() {
+	for i := 0; i < int(b.Channel().NumBuckets()); i++ {
+		bk := b.Channel().Bucket(units.Index(i))
+		if got := units.Bytes(len(bk.Encode())); got != bk.Size() {
 			t.Fatalf("bucket %d encodes to %d bytes, Size() says %d", i, got, bk.Size())
 		}
 	}
@@ -45,7 +46,7 @@ func TestFindsEveryKeyFromCycleStart(t *testing.T) {
 		if res.Probes != i+1 {
 			t.Fatalf("key %d took %d probes, want %d", ds.KeyAt(i), res.Probes, i+1)
 		}
-		wantBytes := int64(i+1) * b.Channel().SizeOf(0)
+		wantBytes := b.Channel().SizeOf(0).Times(i + 1)
 		if res.Tuning != wantBytes || res.Access != wantBytes {
 			t.Fatalf("key %d: access/tuning = %d/%d, want %d", ds.KeyAt(i), res.Access, res.Tuning, wantBytes)
 		}
@@ -96,7 +97,7 @@ func TestTuningEqualsAccessAlways(t *testing.T) {
 			t.Fatal(err)
 		}
 		_, start := b.Channel().NextBucketAt(arrival)
-		if res.Access != res.Tuning+int64(start-arrival) {
+		if res.Access != res.Tuning+units.Elapsed(arrival, start) {
 			t.Fatalf("arrival %d: access %d != tuning %d + initial wait %d", arrival, res.Access, res.Tuning, start-arrival)
 		}
 	}
@@ -121,7 +122,7 @@ func TestAverageAccessIsHalfCycle(t *testing.T) {
 	// should both be about half the cycle (paper §4.2).
 	ds, b := build(t, 500)
 	rng := sim.NewRNG(5)
-	cycle := b.Channel().CycleLen()
+	cycle := int64(b.Channel().CycleLen())
 	var sumA, sumT float64
 	const n = 4000
 	for i := 0; i < n; i++ {
@@ -156,7 +157,7 @@ func TestAttrQueryScansLikeKeyQuery(t *testing.T) {
 				t.Fatalf("record %d attr %d not found", i, attr)
 			}
 			// Flat broadcast has no filtering aid: tuning equals the scan.
-			if res.Tuning != int64(res.Probes)*b.Channel().SizeOf(0) {
+			if res.Tuning != b.Channel().SizeOf(0).Times(res.Probes) {
 				t.Fatal("attr scan accounting wrong")
 			}
 		}

@@ -31,6 +31,7 @@ import (
 	"github.com/airindex/airindex/internal/channel"
 	"github.com/airindex/airindex/internal/datagen"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 	"github.com/airindex/airindex/internal/wire"
 )
 
@@ -83,8 +84,8 @@ type hashBucket struct {
 // offset.
 const controlSize = 1 + 4 + wire.OffsetSize + wire.OffsetSize
 
-func (b *hashBucket) Size() int {
-	return wire.HeaderSize + controlSize + b.ds.Config().RecordSize
+func (b *hashBucket) Size() units.ByteCount {
+	return wire.HeaderSize + controlSize + units.Bytes(b.ds.Config().RecordSize)
 }
 
 func (b *hashBucket) Kind() wire.Kind { return wire.KindHash }
@@ -101,7 +102,7 @@ func (b *hashBucket) Encode() []byte {
 	w.Offset(b.offsetBytes)
 	w.Offset(b.cycleRemain)
 	if b.empty {
-		w.Pad(b.ds.Config().RecordSize)
+		w.Pad(units.Bytes(b.ds.Config().RecordSize))
 	} else {
 		w.Raw(b.ds.EncodeKey(b.rec.Key))
 		for _, a := range b.rec.Attrs {
@@ -166,21 +167,20 @@ func Build(ds *datagen.Dataset, opts Options) (*Broadcast, error) {
 
 	// Fill in wire control offsets now that positions are final.
 	chBuckets := make([]channel.Bucket, len(buckets))
-	bucketSize := int64(buckets[0].Size())
-	total := int64(len(buckets)) * bucketSize
+	bucketSize := buckets[0].Size()
+	total := bucketSize.Times(len(buckets))
 	for p, bk := range buckets {
-		endOfP := int64(p+1) * bucketSize
-		bk.cycleRemain = total - endOfP
+		endOfP := bucketSize.Times(p + 1)
+		bk.cycleRemain = int64(total - endOfP)
 		if p < na {
 			// Shift value: byte delta from this bucket's end to the start
 			// of position p's chain (possibly this very bucket: delta of
 			// one full wrap is never needed since chainStart[p] >= p).
-			target := int64(b.chainStart[p]) * bucketSize
-			delta := target - endOfP
+			delta := bucketSize.Times(b.chainStart[p]) - endOfP
 			if delta < 0 {
 				delta = 0 // chain starts at or before this bucket: it IS the chain head
 			}
-			bk.offsetBytes = delta
+			bk.offsetBytes = int64(delta)
 		} else {
 			bk.offsetBytes = -1
 		}
@@ -245,15 +245,16 @@ type client struct {
 	chainRead int // buckets examined in the chain phase
 }
 
-func (c *client) OnBucket(i int, end sim.Time) access.Step {
+func (c *client) OnBucket(i units.BucketIndex, end sim.Time) access.Step {
 	b := c.b
 	ch := b.ch
+	tgt := units.Index(c.target)
 	switch c.phase {
 	case phaseSeek:
 		switch {
-		case i == c.target:
+		case i == tgt:
 			// At the hash position: follow the shift value to the chain.
-			start := b.chainStart[c.target]
+			start := units.Index(b.chainStart[c.target])
 			if start == i {
 				// This bucket heads the chain; examine it immediately.
 				c.phase = phaseChain
@@ -261,9 +262,9 @@ func (c *client) OnBucket(i int, end sim.Time) access.Step {
 			}
 			c.phase = phaseChain
 			return access.DozeAt(start, ch.NextOccurrence(start, end))
-		case i < c.target:
+		case i < tgt:
 			// Hash position still ahead in this cycle.
-			return access.DozeAt(c.target, ch.NextOccurrence(c.target, end))
+			return access.DozeAt(tgt, ch.NextOccurrence(tgt, end))
 		default:
 			// Missed it: wait for the beginning of the next broadcast and
 			// probe again from there (the paper's extra bucket read).
@@ -276,10 +277,10 @@ func (c *client) OnBucket(i int, end sim.Time) access.Step {
 }
 
 // examine checks one chain bucket: success, continue, or chain end.
-func (c *client) examine(i int, _ sim.Time) access.Step {
+func (c *client) examine(i units.BucketIndex, _ sim.Time) access.Step {
 	b := c.b
 	c.chainRead++
-	if c.chainRead > b.ch.NumBuckets() {
+	if units.Count(c.chainRead) > b.ch.NumBuckets() {
 		// A full cycle of chain reads without a terminator can only happen
 		// when every bucket shares one hash value; the record is absent.
 		return access.Done(false)

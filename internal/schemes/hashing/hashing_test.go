@@ -6,6 +6,7 @@ import (
 	"github.com/airindex/airindex/internal/access"
 	"github.com/airindex/airindex/internal/datagen"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 )
 
 func dataset(t *testing.T, n int) *datagen.Dataset {
@@ -58,16 +59,16 @@ func TestLayoutInvariants(t *testing.T) {
 		t.Fatalf("%d records laid out, want 500", records)
 	}
 	// Bucket count accounting: N = records + empties.
-	if b.ch.NumBuckets() != 500+b.empties {
+	if int(b.ch.NumBuckets()) != 500+b.empties {
 		t.Fatalf("buckets = %d, want %d", b.ch.NumBuckets(), 500+b.empties)
 	}
 }
 
 func TestBucketEncodingSizes(t *testing.T) {
 	_, b := build(t, 100, 3)
-	for i := 0; i < b.ch.NumBuckets(); i++ {
-		bk := b.ch.Bucket(i)
-		if len(bk.Encode()) != bk.Size() {
+	for i := 0; i < int(b.ch.NumBuckets()); i++ {
+		bk := b.ch.Bucket(units.Index(i))
+		if units.Bytes(len(bk.Encode())) != bk.Size() {
 			t.Fatalf("bucket %d: encode/size mismatch", i)
 		}
 		if bk.Size() != b.ch.Bucket(0).Size() {
@@ -80,7 +81,7 @@ func TestFindsEveryKey(t *testing.T) {
 	ds, b := build(t, 400, 3)
 	rng := sim.NewRNG(7)
 	for i := 0; i < ds.Len(); i++ {
-		arrival := sim.Time(rng.Int63n(b.ch.CycleLen()))
+		arrival := sim.Time(rng.Int63n(int64(b.ch.CycleLen())))
 		res, err := access.Walk(b.ch, b.NewClient(ds.KeyAt(i)), arrival, 0)
 		if err != nil {
 			t.Fatalf("key %d: %v", ds.KeyAt(i), err)
@@ -95,7 +96,7 @@ func TestMissingKeysFail(t *testing.T) {
 	ds, b := build(t, 400, 3)
 	rng := sim.NewRNG(8)
 	for i := 0; i < ds.Len(); i += 13 {
-		arrival := sim.Time(rng.Int63n(b.ch.CycleLen()))
+		arrival := sim.Time(rng.Int63n(int64(b.ch.CycleLen())))
 		res, err := access.Walk(b.ch, b.NewClient(ds.MissingKeyNear(i)), arrival, 0)
 		if err != nil {
 			t.Fatal(err)
@@ -117,7 +118,7 @@ func TestTuningIsSmallAndFlat(t *testing.T) {
 		const reqs = 500
 		for i := 0; i < reqs; i++ {
 			key := ds.KeyAt(rng.Intn(ds.Len()))
-			arrival := sim.Time(rng.Int63n(b.ch.CycleLen()))
+			arrival := sim.Time(rng.Int63n(int64(b.ch.CycleLen())))
 			res, err := access.Walk(b.ch, b.NewClient(key), arrival, 0)
 			if err != nil {
 				t.Fatal(err)
@@ -150,8 +151,8 @@ func TestSeekFromEveryArrivalPosition(t *testing.T) {
 	// Exhaustively check a small broadcast from arrivals in every bucket.
 	ds, b := build(t, 60, 2)
 	bucketSize := b.ch.SizeOf(0)
-	for p := 0; p < b.ch.NumBuckets(); p++ {
-		arrival := sim.Time(int64(p)*bucketSize + 1)
+	for p := 0; p < int(b.ch.NumBuckets()); p++ {
+		arrival := bucketSize.Times(p).Span() + 1
 		for _, i := range []int{0, 30, 59} {
 			res, err := access.Walk(b.ch, b.NewClient(ds.KeyAt(i)), arrival, 0)
 			if err != nil {
@@ -178,7 +179,7 @@ func TestHighLoadFactorLongChains(t *testing.T) {
 	const reqs = 200
 	for i := 0; i < reqs; i++ {
 		key := ds.KeyAt(rng.Intn(ds.Len()))
-		arrival := sim.Time(rng.Int63n(b.ch.CycleLen()))
+		arrival := sim.Time(rng.Int63n(int64(b.ch.CycleLen())))
 		res, err := access.Walk(b.ch, b.NewClient(key), arrival, 0)
 		if err != nil {
 			t.Fatal(err)

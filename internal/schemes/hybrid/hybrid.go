@@ -21,6 +21,7 @@ import (
 	"github.com/airindex/airindex/internal/datagen"
 	"github.com/airindex/airindex/internal/schemes/signature"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 	"github.com/airindex/airindex/internal/wire"
 )
 
@@ -68,8 +69,8 @@ type indexBucket struct {
 	b       *Broadcast
 }
 
-func (ib *indexBucket) Size() int       { return ib.b.idxBucketSize }
-func (ib *indexBucket) Kind() wire.Kind { return wire.KindIndex }
+func (ib *indexBucket) Size() units.ByteCount { return ib.b.idxBucketSize }
+func (ib *indexBucket) Kind() wire.Kind       { return wire.KindIndex }
 
 func (ib *indexBucket) Encode() []byte {
 	w := wire.NewWriter(ib.Size())
@@ -82,7 +83,7 @@ func (ib *indexBucket) Encode() []byte {
 			w.Raw(datagen.EncodeKeyWidth(ib.node.Keys[j], keySize))
 			w.Offset(ib.b.deltaBytes(ib.seq, ib.local[j]))
 		} else {
-			w.Pad(keySize + wire.OffsetSize)
+			w.Pad(units.Bytes(keySize) + wire.OffsetSize)
 		}
 	}
 	w.Pad(ib.Size() - w.Len())
@@ -95,8 +96,8 @@ type sigBucket struct {
 	sig signature.Sig
 }
 
-func (sb *sigBucket) Size() int       { return wire.HeaderSize + len(sb.sig) }
-func (sb *sigBucket) Kind() wire.Kind { return wire.KindSignature }
+func (sb *sigBucket) Size() units.ByteCount { return wire.HeaderSize + units.Bytes(len(sb.sig)) }
+func (sb *sigBucket) Kind() wire.Kind       { return wire.KindSignature }
 
 func (sb *sigBucket) Encode() []byte {
 	w := wire.NewWriter(sb.Size())
@@ -113,8 +114,8 @@ type dataBucket struct {
 	b       *Broadcast
 }
 
-func (db *dataBucket) Size() int {
-	return wire.HeaderSize + wire.OffsetSize + db.b.ds.Config().RecordSize
+func (db *dataBucket) Size() units.ByteCount {
+	return wire.HeaderSize + wire.OffsetSize + units.Bytes(db.b.ds.Config().RecordSize)
 }
 
 func (db *dataBucket) Kind() wire.Kind { return wire.KindData }
@@ -140,7 +141,7 @@ type Broadcast struct {
 	m    int
 
 	fanout        int
-	idxBucketSize int
+	idxBucketSize units.ByteCount
 	groups        int
 	groupFrom     []int // first record index of each group
 	sigs          []signature.Sig
@@ -154,23 +155,23 @@ type Broadcast struct {
 	groupIdx []int // record index -> group
 
 	// byte-position bookkeeping for wire offsets
-	starts []int64
-	cycle  int64
+	starts []units.ByteOffset
+	cycle  units.ByteCount
 }
 
 // deltaBytes is the on-air distance from the end of bucket `from` to the
 // start of bucket `to` (buckets here are not uniform, so positions are
 // tracked explicitly).
 func (b *Broadcast) deltaBytes(from, to int) int64 {
-	endOfFrom := b.starts[from] + int64(b.sizeOf(from))
+	endOfFrom := b.starts[from].Advance(b.sizeOf(from))
 	d := b.starts[to] - endOfFrom
 	if d < 0 {
-		d += b.cycle
+		d = d.Advance(b.cycle)
 	}
-	return d
+	return int64(d)
 }
 
-func (b *Broadcast) sizeOf(i int) int { return b.ch.Bucket(i).Size() }
+func (b *Broadcast) sizeOf(i int) units.ByteCount { return b.ch.Bucket(units.Index(i)).Size() }
 
 // Build constructs the hybrid broadcast for a dataset.
 func Build(ds *datagen.Dataset, opts Options) (*Broadcast, error) {
@@ -198,9 +199,9 @@ func Build(ds *datagen.Dataset, opts Options) (*Broadcast, error) {
 
 	// Index bucket geometry: same fixed bucket size as the pure tree
 	// schemes so comparisons are apples-to-apples.
-	bucketSize := wire.HeaderSize + wire.OffsetSize + cfg.RecordSize
+	bucketSize := wire.HeaderSize + wire.OffsetSize + units.Bytes(cfg.RecordSize)
 	b.idxBucketSize = bucketSize
-	b.fanout = (bucketSize - wire.HeaderSize - wire.OffsetSize - 2) / (cfg.KeySize + wire.OffsetSize)
+	b.fanout = (bucketSize - wire.HeaderSize - wire.OffsetSize - 2).Div(units.Bytes(cfg.KeySize) + wire.OffsetSize)
 	if b.fanout < 2 {
 		return nil, fmt.Errorf("hybrid: key size %d too large for record size %d", cfg.KeySize, cfg.RecordSize)
 	}
@@ -286,13 +287,15 @@ func Build(ds *datagen.Dataset, opts Options) (*Broadcast, error) {
 	}
 
 	// Byte positions, then pointers.
-	b.starts = make([]int64, len(buckets))
-	var off int64
+	b.starts = make([]units.ByteOffset, len(buckets))
+	var off units.ByteOffset
+	var total units.ByteCount
 	for i, bk := range buckets {
 		b.starts[i] = off
-		off += int64(bk.Size())
+		off = off.Advance(bk.Size())
+		total += bk.Size()
 	}
-	b.cycle = off
+	b.cycle = total
 	b.nextSeg = make([]int, len(buckets))
 	for i := range buckets {
 		b.nextSeg[i] = b.copyBase[(segOf[i]+1)%m]
@@ -395,12 +398,12 @@ type client struct {
 	group int
 }
 
-func (c *client) OnBucket(i int, end sim.Time) access.Step {
+func (c *client) OnBucket(i units.BucketIndex, end sim.Time) access.Step {
 	b := c.b
 	switch c.phase {
 	case phaseFirstProbe:
 		c.phase = phaseNavigate
-		next := b.nextSeg[i]
+		next := units.Index(b.nextSeg[i])
 		return access.DozeAt(next, b.ch.NextOccurrence(next, end))
 
 	case phaseNavigate:
@@ -415,12 +418,12 @@ func (c *client) OnBucket(i int, end sim.Time) access.Step {
 			return access.Done(false) // beyond the broadcast key range
 		}
 		ib := b.ch.Bucket(i).(*indexBucket)
+		tgt := units.Index(ib.local[j])
 		if node.IsLeaf() {
 			c.phase = phaseGroup
 			c.group = node.DataFrom + j
-			return access.DozeAt(ib.local[j], b.ch.NextOccurrence(ib.local[j], end))
 		}
-		return access.DozeAt(ib.local[j], b.ch.NextOccurrence(ib.local[j], end))
+		return access.DozeAt(tgt, b.ch.NextOccurrence(tgt, end))
 
 	case phaseGroup:
 		r := b.recOf[i]
@@ -433,7 +436,7 @@ func (c *client) OnBucket(i int, end sim.Time) access.Step {
 				return access.Next() // download the candidate record
 			}
 			// Doze over the data bucket to the next signature (or group end).
-			next := (i + 2) % b.ch.NumBuckets()
+			next := i.Step(2, b.ch.NumBuckets())
 			if b.recOf[next] < 0 || b.groupIdx[b.recOf[next]] != c.group {
 				return access.Done(false)
 			}
@@ -443,7 +446,7 @@ func (c *client) OnBucket(i int, end sim.Time) access.Step {
 			return access.Done(true)
 		}
 		// False drop: continue with the next signature in the group.
-		next := (i + 1) % b.ch.NumBuckets()
+		next := i.Next(b.ch.NumBuckets())
 		if b.recOf[next] < 0 || b.groupIdx[b.recOf[next]] != c.group {
 			return access.Done(false)
 		}

@@ -8,6 +8,7 @@ import (
 	"github.com/airindex/airindex/internal/schemes/dist"
 	"github.com/airindex/airindex/internal/schemes/signature"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 	"github.com/airindex/airindex/internal/wire"
 )
 
@@ -54,18 +55,18 @@ func TestChannelStructure(t *testing.T) {
 	if b.groups != 40 {
 		t.Fatalf("groups = %d, want 40", b.groups)
 	}
-	if got := ch.CountKind(wire.KindSignature); got != ds.Len() {
+	if got := ch.CountKind(wire.KindSignature); int(got) != ds.Len() {
 		t.Fatalf("sig buckets = %d, want %d", got, ds.Len())
 	}
-	if got := ch.CountKind(wire.KindData); got != ds.Len() {
+	if got := ch.CountKind(wire.KindData); int(got) != ds.Len() {
 		t.Fatalf("data buckets = %d, want %d", got, ds.Len())
 	}
-	if got := ch.CountKind(wire.KindIndex); got != b.M()*b.Tree().NumNodes() {
+	if got := ch.CountKind(wire.KindIndex); int(got) != b.M()*b.Tree().NumNodes() {
 		t.Fatalf("index buckets = %d, want %d copies of %d nodes", got, b.M(), b.Tree().NumNodes())
 	}
-	for i := 0; i < ch.NumBuckets(); i++ {
-		bk := ch.Bucket(i)
-		if len(bk.Encode()) != bk.Size() {
+	for i := 0; i < int(ch.NumBuckets()); i++ {
+		bk := ch.Bucket(units.Index(i))
+		if units.Bytes(len(bk.Encode())) != bk.Size() {
 			t.Fatalf("bucket %d encode/size mismatch", i)
 		}
 	}
@@ -75,7 +76,7 @@ func TestFindsEveryKey(t *testing.T) {
 	ds, b := build(t, 500)
 	rng := sim.NewRNG(5)
 	for i := 0; i < ds.Len(); i++ {
-		arrival := sim.Time(rng.Int63n(b.Channel().CycleLen()))
+		arrival := sim.Time(rng.Int63n(int64(b.Channel().CycleLen())))
 		res, err := access.Walk(b.Channel(), b.NewClient(ds.KeyAt(i)), arrival, 0)
 		if err != nil {
 			t.Fatalf("key %d: %v", ds.KeyAt(i), err)
@@ -92,7 +93,7 @@ func TestMissingKeysFailWithinOneGroup(t *testing.T) {
 	g := b.opts.GroupSize
 	rng := sim.NewRNG(6)
 	for i := 0; i < ds.Len(); i += 9 {
-		arrival := sim.Time(rng.Int63n(b.Channel().CycleLen()))
+		arrival := sim.Time(rng.Int63n(int64(b.Channel().CycleLen())))
 		res, err := access.Walk(b.Channel(), b.NewClient(ds.MissingKeyNear(i)), arrival, 0)
 		if err != nil {
 			t.Fatal(err)
@@ -141,7 +142,7 @@ func TestTuningBetweenTreeAndSignature(t *testing.T) {
 		const n = 500
 		for i := 0; i < n; i++ {
 			key := ds.KeyAt(rng.Intn(ds.Len()))
-			arrival := sim.Time(rng.Int63n(bc.Channel().CycleLen()))
+			arrival := sim.Time(rng.Int63n(int64(bc.Channel().CycleLen())))
 			res, err := access.Walk(bc.Channel(), bc.NewClient(key), arrival, 0)
 			if err != nil {
 				t.Fatal(err)

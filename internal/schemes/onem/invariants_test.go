@@ -6,6 +6,7 @@ import (
 	"github.com/airindex/airindex/internal/btree"
 	"github.com/airindex/airindex/internal/datagen"
 	"github.com/airindex/airindex/internal/schemes/treeidx"
+	"github.com/airindex/airindex/internal/units"
 )
 
 // TestCopyStructure verifies that every index segment is a complete
@@ -34,7 +35,7 @@ func TestCopyStructure(t *testing.T) {
 		// Records appear exactly once, in key order across the cycle.
 		prev := -1
 		count := 0
-		for i := 0; i < b.Channel().NumBuckets(); i++ {
+		for i := 0; i < int(b.Channel().NumBuckets()); i++ {
 			if r := b.recOf[i]; r >= 0 {
 				if r != prev+1 {
 					t.Fatalf("m=%d: record order broken at bucket %d (%d after %d)", m, i, r, prev)
@@ -63,8 +64,8 @@ func TestLocalPointersWithinCopy(t *testing.T) {
 	}
 	ch := b.Channel()
 	treeLen := b.Tree().NumNodes()
-	for i := 0; i < ch.NumBuckets(); i++ {
-		ib, ok := ch.Bucket(i).(*treeidx.IndexBucket)
+	for i := 0; i < int(ch.NumBuckets()); i++ {
+		ib, ok := ch.Bucket(units.Index(i)).(*treeidx.IndexBucket)
 		if !ok {
 			continue
 		}

@@ -22,6 +22,7 @@ import (
 	"github.com/airindex/airindex/internal/datagen"
 	"github.com/airindex/airindex/internal/schemes/treeidx"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 )
 
 // Name is the scheme's registry name.
@@ -247,7 +248,7 @@ type client struct {
 	phase clientPhase
 }
 
-func (c *client) OnBucket(i int, end sim.Time) access.Step {
+func (c *client) OnBucket(i units.BucketIndex, end sim.Time) access.Step {
 	b := c.b
 	switch c.phase {
 	case phaseFirstProbe:
@@ -258,7 +259,8 @@ func (c *client) OnBucket(i int, end sim.Time) access.Step {
 		} else {
 			next = b.copyBase[(b.segOf[i]+1)%b.m]
 		}
-		return access.DozeAt(next, b.ch.NextOccurrence(next, end))
+		nxt := units.Index(next)
+		return access.DozeAt(nxt, b.ch.NextOccurrence(nxt, end))
 
 	case phaseNavigate:
 		node := b.nodeOf[i]
@@ -277,10 +279,11 @@ func (c *client) OnBucket(i int, end sim.Time) access.Step {
 				return access.Done(false)
 			}
 			c.phase = phaseDownload
-			return access.DozeAt(ib.Local[e], b.ch.NextOccurrence(ib.Local[e], end))
+			tgt := units.Index(ib.Local[e])
+			return access.DozeAt(tgt, b.ch.NextOccurrence(tgt, end))
 		}
-		j := node.ChildFor(c.key)
-		return access.DozeAt(ib.Local[j], b.ch.NextOccurrence(ib.Local[j], end))
+		tgt := units.Index(ib.Local[node.ChildFor(c.key)])
+		return access.DozeAt(tgt, b.ch.NextOccurrence(tgt, end))
 
 	case phaseDownload:
 		if b.recOf[i] < 0 || b.ds.KeyAt(b.recOf[i]) != c.key {
@@ -292,6 +295,6 @@ func (c *client) OnBucket(i int, end sim.Time) access.Step {
 }
 
 // findIndexBucket recovers the IndexBucket instance at channel position i.
-func findIndexBucket(b *Broadcast, i int) *treeidx.IndexBucket {
+func findIndexBucket(b *Broadcast, i units.BucketIndex) *treeidx.IndexBucket {
 	return b.ch.Bucket(i).(*treeidx.IndexBucket)
 }

@@ -6,6 +6,7 @@ import (
 	"github.com/airindex/airindex/internal/access"
 	"github.com/airindex/airindex/internal/datagen"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 	"github.com/airindex/airindex/internal/wire"
 )
 
@@ -32,10 +33,10 @@ func TestChannelStructure(t *testing.T) {
 	ds, b := build(t, 600, 4)
 	ch := b.Channel()
 	treeNodes := b.Tree().NumNodes()
-	if got := ch.CountKind(wire.KindIndex); got != 4*treeNodes {
+	if got := ch.CountKind(wire.KindIndex); int(got) != 4*treeNodes {
 		t.Fatalf("index buckets = %d, want %d (4 full copies)", got, 4*treeNodes)
 	}
-	if got := ch.CountKind(wire.KindData); got != ds.Len() {
+	if got := ch.CountKind(wire.KindData); int(got) != ds.Len() {
 		t.Fatalf("data buckets = %d, want %d", got, ds.Len())
 	}
 	// Each copy starts with the root.
@@ -45,9 +46,9 @@ func TestChannelStructure(t *testing.T) {
 		}
 	}
 	// Uniform bucket size, encode/size agreement.
-	for i := 0; i < ch.NumBuckets(); i++ {
-		bk := ch.Bucket(i)
-		if bk.Size() != b.Layout().BucketSize || len(bk.Encode()) != bk.Size() {
+	for i := 0; i < int(ch.NumBuckets()); i++ {
+		bk := ch.Bucket(units.Index(i))
+		if bk.Size() != b.Layout().BucketSize || units.Bytes(len(bk.Encode())) != bk.Size() {
 			t.Fatalf("bucket %d size/encode mismatch", i)
 		}
 	}
@@ -57,7 +58,7 @@ func TestFindsEveryKey(t *testing.T) {
 	ds, b := build(t, 500, 3)
 	rng := sim.NewRNG(17)
 	for i := 0; i < ds.Len(); i++ {
-		arrival := sim.Time(rng.Int63n(b.Channel().CycleLen()))
+		arrival := sim.Time(rng.Int63n(int64(b.Channel().CycleLen())))
 		res, err := access.Walk(b.Channel(), b.NewClient(ds.KeyAt(i)), arrival, 0)
 		if err != nil {
 			t.Fatalf("key %d: %v", ds.KeyAt(i), err)
@@ -73,7 +74,7 @@ func TestMissingKeysFailFast(t *testing.T) {
 	k := b.Tree().Levels
 	rng := sim.NewRNG(18)
 	for i := 0; i < ds.Len(); i += 17 {
-		arrival := sim.Time(rng.Int63n(b.Channel().CycleLen()))
+		arrival := sim.Time(rng.Int63n(int64(b.Channel().CycleLen())))
 		res, err := access.Walk(b.Channel(), b.NewClient(ds.MissingKeyNear(i)), arrival, 0)
 		if err != nil {
 			t.Fatal(err)
@@ -95,7 +96,7 @@ func TestTuningIsTreeDepthBound(t *testing.T) {
 	rng := sim.NewRNG(19)
 	for i := 0; i < 300; i++ {
 		key := ds.KeyAt(rng.Intn(ds.Len()))
-		arrival := sim.Time(rng.Int63n(b.Channel().CycleLen()))
+		arrival := sim.Time(rng.Int63n(int64(b.Channel().CycleLen())))
 		res, err := access.Walk(b.Channel(), b.NewClient(key), arrival, 0)
 		if err != nil {
 			t.Fatal(err)
@@ -104,7 +105,7 @@ func TestTuningIsTreeDepthBound(t *testing.T) {
 		if res.Probes > k+2 {
 			t.Fatalf("present key took %d probes, want <= %d", res.Probes, k+2)
 		}
-		if res.Tuning != int64(res.Probes)*int64(b.Layout().BucketSize) {
+		if res.Tuning != b.Layout().BucketSize.Times(res.Probes) {
 			t.Fatal("tuning bytes must equal probes x uniform bucket size")
 		}
 	}
@@ -157,7 +158,7 @@ func TestInvalidM(t *testing.T) {
 
 func TestMEqualsOneSingleCopy(t *testing.T) {
 	ds, b := build(t, 300, 1)
-	if got := b.Channel().CountKind(wire.KindIndex); got != b.Tree().NumNodes() {
+	if got := b.Channel().CountKind(wire.KindIndex); int(got) != b.Tree().NumNodes() {
 		t.Fatalf("m=1: index buckets %d, want %d", got, b.Tree().NumNodes())
 	}
 	res, err := access.Walk(b.Channel(), b.NewClient(ds.KeyAt(299)), 0, 0)
@@ -171,8 +172,8 @@ func TestMEqualsOneSingleCopy(t *testing.T) {
 
 func TestAccessFromEveryArrivalBucket(t *testing.T) {
 	ds, b := build(t, 120, 3)
-	for p := 0; p < b.Channel().NumBuckets(); p += 3 {
-		arrival := sim.Time(b.Channel().StartInCycle(p) + 2)
+	for p := 0; p < int(b.Channel().NumBuckets()); p += 3 {
+		arrival := b.Channel().StartInCycle(units.Index(p)).At(2)
 		for _, i := range []int{0, 60, 119} {
 			res, err := access.Walk(b.Channel(), b.NewClient(ds.KeyAt(i)), arrival, 0)
 			if err != nil {

@@ -5,6 +5,7 @@ import (
 
 	"github.com/airindex/airindex/internal/access"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 )
 
 func TestAttrQueryFindsEveryAttribute(t *testing.T) {
@@ -17,7 +18,7 @@ func TestAttrQueryFindsEveryAttribute(t *testing.T) {
 	for i := 0; i < ds.Len(); i += 11 {
 		for attr := 0; attr < ds.Config().NumAttributes; attr++ {
 			value := ds.Record(i).Attrs[attr]
-			arrival := sim.Time(rng.Int63n(b.Channel().CycleLen()))
+			arrival := sim.Time(rng.Int63n(int64(b.Channel().CycleLen())))
 			res, err := access.Walk(b.Channel(), b.NewAttrClient(attr, value), arrival, 0)
 			if err != nil {
 				t.Fatal(err)
@@ -84,7 +85,7 @@ func TestAttrQueryTuningFarBelowFlatScan(t *testing.T) {
 	// Scanning 301 signatures (21 B each) plus the record is far below the
 	// 301 full records a flat scan would read.
 	flatCost := int64(301) * 505
-	if res.Tuning*5 > flatCost {
+	if res.Tuning.Times(5) > units.Bytes64(flatCost) {
 		t.Fatalf("attr query tuning %d should be >5x below flat's %d", res.Tuning, flatCost)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"github.com/airindex/airindex/internal/channel"
 	"github.com/airindex/airindex/internal/datagen"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 )
 
 // IntegratedName is the integrated scheme's registry name.
@@ -115,15 +116,16 @@ type integratedClient struct {
 	inGroup bool
 }
 
-func (c *integratedClient) nextGroupStep(i int, end sim.Time) access.Step {
+func (c *integratedClient) nextGroupStep(i units.BucketIndex, end sim.Time) access.Step {
 	if c.scanned >= c.b.groups {
 		return access.Done(false)
 	}
 	g := (c.b.groupOf[i] + 1) % c.b.groups
-	return access.DozeAt(c.b.sigStart[g], c.b.ch.NextOccurrence(c.b.sigStart[g], end))
+	tgt := units.Index(c.b.sigStart[g])
+	return access.DozeAt(tgt, c.b.ch.NextOccurrence(tgt, end))
 }
 
-func (c *integratedClient) OnBucket(i int, end sim.Time) access.Step {
+func (c *integratedClient) OnBucket(i units.BucketIndex, end sim.Time) access.Step {
 	if c.b.recordOf[i] < 0 {
 		// Group signature bucket.
 		c.scanned++
@@ -139,7 +141,7 @@ func (c *integratedClient) OnBucket(i int, end sim.Time) access.Step {
 		return access.Done(true)
 	}
 	// Last record of the group? Move to the next group signature.
-	last := i == c.b.ch.NumBuckets()-1 || c.b.recordOf[(i+1)%c.b.ch.NumBuckets()] < 0
+	last := i.IsLast(c.b.ch.NumBuckets()) || c.b.recordOf[i.Next(c.b.ch.NumBuckets())] < 0
 	if last {
 		return c.nextGroupStep(i, end)
 	}

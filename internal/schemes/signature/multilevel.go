@@ -7,6 +7,7 @@ import (
 	"github.com/airindex/airindex/internal/channel"
 	"github.com/airindex/airindex/internal/datagen"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 )
 
 // MultiLevelName is the multi-level scheme's registry name.
@@ -125,28 +126,29 @@ type multiLevelClient struct {
 	scanned int // integrated signatures examined
 }
 
-func (c *multiLevelClient) nextGroupStep(i int, end sim.Time) access.Step {
+func (c *multiLevelClient) nextGroupStep(i units.BucketIndex, end sim.Time) access.Step {
 	if c.scanned >= c.b.groups {
 		return access.Done(false)
 	}
 	g := (c.b.groupOf[i] + 1) % c.b.groups
-	return access.DozeAt(c.b.sigStart[g], c.b.ch.NextOccurrence(c.b.sigStart[g], end))
+	tgt := units.Index(c.b.sigStart[g])
+	return access.DozeAt(tgt, c.b.ch.NextOccurrence(tgt, end))
 }
 
 // nextRecSigStep dozes to the record signature after record rec within the
 // same group, or to the next group signature when rec closes the group.
-func (c *multiLevelClient) nextRecSigStep(i int, end sim.Time) access.Step {
+func (c *multiLevelClient) nextRecSigStep(i units.BucketIndex, end sim.Time) access.Step {
 	ch := c.b.ch
 	// The record signature bucket for the following record directly
 	// follows this data bucket unless this record closed its group.
-	next := (i + 1) % ch.NumBuckets()
+	next := i.Next(ch.NumBuckets())
 	if c.b.recordOf[next] < 0 || c.b.groupOf[next] != c.b.groupOf[i] {
 		return c.nextGroupStep(i, end)
 	}
 	return access.DozeAt(next, ch.NextOccurrence(next, end))
 }
 
-func (c *multiLevelClient) OnBucket(i int, end sim.Time) access.Step {
+func (c *multiLevelClient) OnBucket(i units.BucketIndex, end sim.Time) access.Step {
 	b := c.b
 	if b.recordOf[i] < 0 {
 		// Integrated (group) signature.
@@ -163,7 +165,7 @@ func (c *multiLevelClient) OnBucket(i int, end sim.Time) access.Step {
 		}
 		// Doze over the data bucket to the next bucket (record sig or next
 		// group sig).
-		next := (i + 2) % b.ch.NumBuckets()
+		next := i.Step(2, b.ch.NumBuckets())
 		if b.recordOf[next] < 0 {
 			return c.nextGroupStep(i, end)
 		}

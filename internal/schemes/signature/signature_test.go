@@ -7,6 +7,7 @@ import (
 	"github.com/airindex/airindex/internal/access"
 	"github.com/airindex/airindex/internal/datagen"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 	"github.com/airindex/airindex/internal/wire"
 )
 
@@ -92,9 +93,9 @@ func TestSimpleChannelLayout(t *testing.T) {
 	if ch.CountKind(wire.KindSignature) != 100 || ch.CountKind(wire.KindData) != 100 {
 		t.Fatal("bucket kind counts wrong")
 	}
-	for i := 0; i < ch.NumBuckets(); i++ {
-		bk := ch.Bucket(i)
-		if len(bk.Encode()) != bk.Size() {
+	for i := 0; i < int(ch.NumBuckets()); i++ {
+		bk := ch.Bucket(units.Index(i))
+		if units.Bytes(len(bk.Encode())) != bk.Size() {
 			t.Fatalf("bucket %d: encode/size mismatch", i)
 		}
 		wantKind := wire.KindSignature
@@ -115,7 +116,7 @@ func TestSimpleFindsEveryKeyNoFalseNegatives(t *testing.T) {
 	}
 	rng := sim.NewRNG(9)
 	for i := 0; i < ds.Len(); i += 7 {
-		arrival := sim.Time(rng.Int63n(b.Channel().CycleLen()))
+		arrival := sim.Time(rng.Int63n(int64(b.Channel().CycleLen())))
 		res, err := access.Walk(b.Channel(), b.NewClient(ds.KeyAt(i)), arrival, 0)
 		if err != nil {
 			t.Fatal(err)
@@ -163,7 +164,7 @@ func TestSimpleTuningSkipsData(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want := int64(i+1)*sigSize + dataSize
+		want := sigSize.Times(i+1) + dataSize
 		if res.Tuning != want {
 			t.Fatalf("key %d tuning %d, want %d (false drop with 256-bit sigs?)", i, res.Tuning, want)
 		}
@@ -204,7 +205,7 @@ func TestIntegratedFindsEveryKey(t *testing.T) {
 	}
 	rng := sim.NewRNG(4)
 	for i := 0; i < ds.Len(); i += 5 {
-		arrival := sim.Time(rng.Int63n(b.Channel().CycleLen()))
+		arrival := sim.Time(rng.Int63n(int64(b.Channel().CycleLen())))
 		res, err := access.Walk(b.Channel(), b.NewClient(ds.KeyAt(i)), arrival, 0)
 		if err != nil {
 			t.Fatal(err)
@@ -256,7 +257,7 @@ func TestMultiLevelFindsEveryKey(t *testing.T) {
 	}
 	rng := sim.NewRNG(13)
 	for i := 0; i < ds.Len(); i += 5 {
-		arrival := sim.Time(rng.Int63n(b.Channel().CycleLen()))
+		arrival := sim.Time(rng.Int63n(int64(b.Channel().CycleLen())))
 		res, err := access.Walk(b.Channel(), b.NewClient(ds.KeyAt(i)), arrival, 0)
 		if err != nil {
 			t.Fatal(err)
@@ -297,12 +298,12 @@ func TestMultiLevelTuningBeatsSimpleOnAverage(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := sim.NewRNG(21)
-	var sumSimple, sumML int64
+	var sumSimple, sumML units.ByteCount
 	const n = 300
 	for i := 0; i < n; i++ {
 		key := ds.KeyAt(rng.Intn(ds.Len()))
-		a1 := sim.Time(rng.Int63n(simple.Channel().CycleLen()))
-		a2 := sim.Time(rng.Int63n(ml.Channel().CycleLen()))
+		a1 := sim.Time(rng.Int63n(int64(simple.Channel().CycleLen())))
+		a2 := sim.Time(rng.Int63n(int64(ml.Channel().CycleLen())))
 		r1, err := access.Walk(simple.Channel(), simple.NewClient(key), a1, 0)
 		if err != nil {
 			t.Fatal(err)
@@ -315,7 +316,7 @@ func TestMultiLevelTuningBeatsSimpleOnAverage(t *testing.T) {
 		sumML += r2.Tuning
 	}
 	if sumML >= sumSimple {
-		t.Fatalf("multi-level mean tuning %d should beat simple %d", sumML/n, sumSimple/n)
+		t.Fatalf("multi-level mean tuning %d should beat simple %d", sumML.Div(units.Bytes(n)), sumSimple.Div(units.Bytes(n)))
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"github.com/airindex/airindex/internal/channel"
 	"github.com/airindex/airindex/internal/datagen"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 	"github.com/airindex/airindex/internal/wire"
 )
 
@@ -20,8 +21,8 @@ type sigBucket struct {
 	sig Sig
 }
 
-func (b *sigBucket) Size() int       { return wire.HeaderSize + len(b.sig) }
-func (b *sigBucket) Kind() wire.Kind { return wire.KindSignature }
+func (b *sigBucket) Size() units.ByteCount { return wire.HeaderSize + units.Bytes(len(b.sig)) }
+func (b *sigBucket) Kind() wire.Kind       { return wire.KindSignature }
 
 func (b *sigBucket) Encode() []byte {
 	w := wire.NewWriter(b.Size())
@@ -37,7 +38,9 @@ type dataBucket struct {
 	ds  *datagen.Dataset
 }
 
-func (b *dataBucket) Size() int       { return wire.HeaderSize + b.ds.Config().RecordSize }
+func (b *dataBucket) Size() units.ByteCount {
+	return wire.HeaderSize + units.Bytes(b.ds.Config().RecordSize)
+}
 func (b *dataBucket) Kind() wire.Kind { return wire.KindData }
 
 func (b *dataBucket) Encode() []byte {
@@ -145,7 +148,7 @@ type client struct {
 	scanned int // signature buckets examined
 }
 
-func (c *client) OnBucket(i int, end sim.Time) access.Step {
+func (c *client) OnBucket(i units.BucketIndex, end sim.Time) access.Step {
 	ch := c.b.ch
 	if i%2 == 0 {
 		// Signature bucket for record i/2.
@@ -157,16 +160,16 @@ func (c *client) OnBucket(i int, end sim.Time) access.Step {
 			return access.Done(false)
 		}
 		// Doze over the data bucket to the next signature bucket.
-		next := (i + 2) % ch.NumBuckets()
+		next := i.Step(2, ch.NumBuckets())
 		return access.DozeAt(next, ch.NextOccurrence(next, end))
 	}
 	// Data bucket for record i/2: either the request or a false drop.
-	if c.match(i / 2) {
+	if c.match(int(i / 2)) {
 		return access.Done(true)
 	}
 	if c.scanned >= c.b.ds.Len() {
 		return access.Done(false)
 	}
-	next := (i + 1) % ch.NumBuckets()
+	next := i.Next(ch.NumBuckets())
 	return access.DozeAt(next, ch.NextOccurrence(next, end))
 }

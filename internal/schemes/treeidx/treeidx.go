@@ -23,13 +23,14 @@ import (
 
 	"github.com/airindex/airindex/internal/btree"
 	"github.com/airindex/airindex/internal/datagen"
+	"github.com/airindex/airindex/internal/units"
 	"github.com/airindex/airindex/internal/wire"
 )
 
 // Layout describes the uniform bucket geometry for a tree-indexed cycle.
 type Layout struct {
 	// BucketSize is the byte size of every bucket on the channel.
-	BucketSize int
+	BucketSize units.ByteCount
 	// Fanout is n, the number of local index entries per index bucket.
 	Fanout int
 	// Levels is k, the depth of the index tree built at this fanout.
@@ -46,13 +47,13 @@ type Layout struct {
 const fixedIndexOverhead = wire.OffsetSize + wire.OffsetSize + 2 + 2
 
 // entrySize returns the byte cost of one local index entry.
-func entrySize(keySize int) int { return keySize + wire.OffsetSize }
+func entrySize(keySize int) units.ByteCount { return units.Bytes(keySize) + wire.OffsetSize }
 
 // Compute derives the bucket layout and builds the index tree for a
 // dataset, iterating fanout and depth to their fixpoint.
 func Compute(ds *datagen.Dataset) (Layout, *btree.Tree, error) {
 	cfg := ds.Config()
-	bucketSize := wire.HeaderSize + wire.OffsetSize + cfg.RecordSize
+	bucketSize := wire.HeaderSize + wire.OffsetSize + units.Bytes(cfg.RecordSize)
 
 	keys := make([]uint64, ds.Len())
 	for i := range keys {
@@ -65,8 +66,8 @@ func Compute(ds *datagen.Dataset) (Layout, *btree.Tree, error) {
 			return Layout{}, nil, fmt.Errorf("treeidx: layout fixpoint did not converge")
 		}
 		ctrlSlots := levels - 1
-		space := bucketSize - wire.HeaderSize - cfg.KeySize - fixedIndexOverhead - ctrlSlots*wire.OffsetSize
-		fanout := space / entrySize(cfg.KeySize)
+		space := bucketSize - wire.HeaderSize - units.Bytes(cfg.KeySize) - fixedIndexOverhead - wire.OffsetSize.Times(ctrlSlots)
+		fanout := space.Div(entrySize(cfg.KeySize))
 		if fanout < 2 {
 			return Layout{}, nil, fmt.Errorf(
 				"treeidx: key size %d too large for record size %d: index bucket fits %d entries, need 2",
@@ -96,7 +97,7 @@ type CycleInfo struct {
 	// NumBuckets is the cycle's bucket count.
 	NumBuckets int
 	// BucketSize is the uniform bucket size.
-	BucketSize int
+	BucketSize units.ByteCount
 }
 
 // DeltaBytes returns the on-air byte distance from the END of bucket `from`
@@ -107,7 +108,7 @@ func (ci *CycleInfo) DeltaBytes(from, to int) int64 {
 	if d < 0 {
 		d += ci.NumBuckets
 	}
-	return int64(d) * int64(ci.BucketSize)
+	return int64(ci.BucketSize.Times(d))
 }
 
 // NoKey is the wire sentinel for "no data broadcast yet this cycle" in the
@@ -142,7 +143,7 @@ type IndexBucket struct {
 }
 
 // Size implements channel.Bucket.
-func (b *IndexBucket) Size() int { return b.Layout.BucketSize }
+func (b *IndexBucket) Size() units.ByteCount { return b.Layout.BucketSize }
 
 // Kind implements channel.Bucket.
 func (b *IndexBucket) Kind() wire.Kind { return wire.KindIndex }
@@ -197,7 +198,7 @@ func DecodeIndex(p []byte, layout Layout) (DecodedIndex, error) {
 	}
 	d.Seq = h.Seq
 	d.NextSeg = r.Offset()
-	lastKey, err := datagen.DecodeKey(r.Raw(layout.KeySize))
+	lastKey, err := datagen.DecodeKey(r.Raw(units.Bytes(layout.KeySize)))
 	if err != nil {
 		return d, err
 	}
@@ -213,7 +214,7 @@ func DecodeIndex(p []byte, layout Layout) (DecodedIndex, error) {
 	}
 	for j := 0; j < layout.Fanout; j++ {
 		if j < numLocal {
-			k, err := datagen.DecodeKey(r.Raw(layout.KeySize))
+			k, err := datagen.DecodeKey(r.Raw(units.Bytes(layout.KeySize)))
 			if err != nil {
 				return d, err
 			}
@@ -241,7 +242,7 @@ type DataBucket struct {
 }
 
 // Size implements channel.Bucket.
-func (b *DataBucket) Size() int { return b.Layout.BucketSize }
+func (b *DataBucket) Size() units.ByteCount { return b.Layout.BucketSize }
 
 // Kind implements channel.Bucket.
 func (b *DataBucket) Kind() wire.Kind { return wire.KindData }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/airindex/airindex/internal/datagen"
+	"github.com/airindex/airindex/internal/units"
 )
 
 func TestComputeDefaults(t *testing.T) {
@@ -43,7 +44,7 @@ func TestComputeFixpointConsistency(t *testing.T) {
 			t.Fatalf("keySize %d: %v", keySize, err)
 		}
 		used := 5 + 8 + keySize + 8 + 4 + layout.CtrlSlots*8 + layout.Fanout*(keySize+8)
-		if used > layout.BucketSize {
+		if units.Bytes(used) > layout.BucketSize {
 			t.Fatalf("keySize %d: index layout needs %d bytes, bucket is %d", keySize, used, layout.BucketSize)
 		}
 		if tree.Fanout != layout.Fanout {
@@ -108,7 +109,7 @@ func TestIndexBucketEncodeDecodeRoundTrip(t *testing.T) {
 		ib.Local[j] = 30 + j
 	}
 	enc := ib.Encode()
-	if len(enc) != layout.BucketSize {
+	if units.Bytes(len(enc)) != layout.BucketSize {
 		t.Fatalf("encoded %d bytes, want %d", len(enc), layout.BucketSize)
 	}
 	d, err := DecodeIndex(enc, layout)
@@ -149,7 +150,7 @@ func TestDataBucketEncode(t *testing.T) {
 	info := &CycleInfo{NumBuckets: 60, BucketSize: layout.BucketSize}
 	db := &DataBucket{Seq: 10, RecIdx: 5, NextSeg: 55, Layout: layout, Info: info, DS: ds}
 	enc := db.Encode()
-	if len(enc) != layout.BucketSize {
+	if units.Bytes(len(enc)) != layout.BucketSize {
 		t.Fatalf("data bucket encoded %d bytes, want %d", len(enc), layout.BucketSize)
 	}
 	if db.Size() != layout.BucketSize {

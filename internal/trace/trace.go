@@ -14,13 +14,14 @@ import (
 	"github.com/airindex/airindex/internal/access"
 	"github.com/airindex/airindex/internal/channel"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 	"github.com/airindex/airindex/internal/wire"
 )
 
 // Probe is one active-mode bucket read.
 type Probe struct {
 	// Index is the bucket's position within the broadcast cycle.
-	Index int
+	Index units.BucketIndex
 	// Kind is the bucket's role.
 	Kind wire.Kind
 	// Start and End are the absolute byte-times of the read.
@@ -29,7 +30,7 @@ type Probe struct {
 	// consecutive reads).
 	Dozed sim.Time
 	// Bytes is the bucket size (the read's tuning cost).
-	Bytes int64
+	Bytes units.ByteCount
 }
 
 // Trace is a full query walkthrough.
@@ -52,9 +53,9 @@ type recorder struct {
 	last  sim.Time // end of the previous read; arrival before the first
 }
 
-func (r *recorder) OnBucket(i int, end sim.Time) access.Step {
+func (r *recorder) OnBucket(i units.BucketIndex, end sim.Time) access.Step {
 	size := r.ch.SizeOf(i)
-	start := end - sim.Time(size)
+	start := end - size.Span()
 	dozed := start - r.last
 	if dozed < 0 {
 		dozed = 0

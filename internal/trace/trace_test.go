@@ -10,6 +10,7 @@ import (
 	"github.com/airindex/airindex/internal/schemes/dist"
 	"github.com/airindex/airindex/internal/schemes/flat"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 )
 
 func dataset(t *testing.T, n int) *datagen.Dataset {
@@ -30,7 +31,7 @@ func TestTraceMatchesWalkAccounting(t *testing.T) {
 	rng := sim.NewRNG(3)
 	for i := 0; i < 100; i++ {
 		key := ds.KeyAt(rng.Intn(ds.Len()))
-		arrival := sim.Time(rng.Int63n(bc.Channel().CycleLen()))
+		arrival := sim.Time(rng.Int63n(int64(bc.Channel().CycleLen())))
 		tr, err := Run(bc, key, arrival)
 		if err != nil {
 			t.Fatal(err)
@@ -58,10 +59,10 @@ func TestTraceAccountingIdentities(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var tuned int64
+	var tuned units.ByteCount
 	for i, p := range tr.Probes {
 		tuned += p.Bytes
-		if p.End-p.Start != sim.Time(p.Bytes) {
+		if p.End-p.Start != p.Bytes.Span() {
 			t.Fatalf("probe %d: duration != size", i)
 		}
 		if i > 0 && p.Start < tr.Probes[i-1].End {
@@ -77,7 +78,7 @@ func TestTraceAccountingIdentities(t *testing.T) {
 		// The first probe's doze includes the initial wait by construction.
 		t.Fatalf("initial wait double-counted: %d", initial)
 	}
-	if int64(tr.DozeTotal())+tuned != tr.Result.Access {
+	if units.Elapsed(0, tr.DozeTotal())+tuned != tr.Result.Access {
 		t.Fatalf("doze %d + tune %d != access %d", tr.DozeTotal(), tuned, tr.Result.Access)
 	}
 }

@@ -1,0 +1,84 @@
+package units
+
+import (
+	"testing"
+
+	"github.com/airindex/airindex/internal/sim"
+)
+
+func TestByteCountArithmetic(t *testing.T) {
+	n := Bytes(512)
+	if n.Times(3) != Bytes(1536) {
+		t.Errorf("Times(3) = %d, want 1536", n.Times(3))
+	}
+	if n.Div(Bytes(100)) != 5 {
+		t.Errorf("Div(100) = %d, want 5", n.Div(Bytes(100)))
+	}
+	if n.Mod(Bytes(100)) != Bytes(12) {
+		t.Errorf("Mod(100) = %d, want 12", n.Mod(Bytes(100)))
+	}
+	if Bytes64(1<<40).Span() != sim.Time(1<<40) {
+		t.Errorf("Span does not preserve the byte clock identity")
+	}
+}
+
+func TestElapsed(t *testing.T) {
+	if got := Elapsed(sim.Time(100), sim.Time(350)); got != Bytes(250) {
+		t.Errorf("Elapsed = %d, want 250", got)
+	}
+}
+
+func TestCycleGeometry(t *testing.T) {
+	cycle := Bytes(1000)
+	cases := []struct {
+		t    sim.Time
+		base sim.Time
+		off  ByteOffset
+	}{
+		{0, 0, 0},
+		{999, 0, 999},
+		{1000, 1000, 0},
+		{2345, 2000, 345},
+	}
+	for _, tc := range cases {
+		if got := CycleBase(tc.t, cycle); got != tc.base {
+			t.Errorf("CycleBase(%d) = %d, want %d", tc.t, got, tc.base)
+		}
+		if got := CycleOffset(tc.t, cycle); got != tc.off {
+			t.Errorf("CycleOffset(%d) = %d, want %d", tc.t, got, tc.off)
+		}
+		// Base plus in-cycle offset reconstructs the instant.
+		if got := CycleOffset(tc.t, cycle).At(CycleBase(tc.t, cycle)); got != tc.t {
+			t.Errorf("At(CycleBase) = %d, want %d", got, tc.t)
+		}
+	}
+}
+
+func TestOffsetAdvance(t *testing.T) {
+	o := Offset64(40)
+	if got := o.Advance(Bytes(60)); got != Offset64(100) {
+		t.Errorf("Advance = %d, want 100", got)
+	}
+	if Offset64(77).Extent() != Bytes(77) {
+		t.Errorf("Extent does not preserve the byte amount")
+	}
+}
+
+func TestBucketIndexWrap(t *testing.T) {
+	n := Count(5)
+	if got := Index(4).Next(n); got != Index(0) {
+		t.Errorf("Next wraps to %d, want 0", got)
+	}
+	if got := Index(3).Step(4, n); got != Index(2) {
+		t.Errorf("Step(4) = %d, want 2", got)
+	}
+	if !Index(0).InCycle(n) || !Index(4).InCycle(n) {
+		t.Error("valid indices reported out of cycle")
+	}
+	if Index(-1).InCycle(n) || Index(5).InCycle(n) {
+		t.Error("invalid indices reported in cycle")
+	}
+	if !Index(4).IsLast(n) || Index(3).IsLast(n) {
+		t.Error("IsLast misidentifies the final bucket")
+	}
+}

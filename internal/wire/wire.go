@@ -13,6 +13,8 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+
+	"github.com/airindex/airindex/internal/units"
 )
 
 // Kind tags a bucket with its role on the channel.
@@ -42,14 +44,21 @@ func (k Kind) String() string {
 	}
 }
 
+// headerLen and offsetLen are the raw widths used by the codec internals,
+// which index into byte slices with plain ints.
+const (
+	headerLen = 1 + 4
+	offsetLen = 8
+)
+
 // HeaderSize is the byte size of the common bucket header: kind (1 byte)
 // plus the bucket's sequence number within the broadcast cycle (4 bytes).
-const HeaderSize = 1 + 4
+const HeaderSize units.ByteCount = headerLen
 
 // OffsetSize is the byte width of a time-offset field. Offsets in wireless
 // broadcast are arrival-time deltas in bytes (paper §2.1); 8 bytes covers
 // any cycle length the testbed can represent.
-const OffsetSize = 8
+const OffsetSize units.ByteCount = offsetLen
 
 // Header is the common prefix of every bucket.
 type Header struct {
@@ -63,13 +72,13 @@ type Writer struct {
 }
 
 // NewWriter returns a writer pre-allocating n bytes.
-func NewWriter(n int) *Writer { return &Writer{buf: make([]byte, 0, n)} }
+func NewWriter(n units.ByteCount) *Writer { return &Writer{buf: make([]byte, 0, int(n))} }
 
 // Bytes returns the encoded bytes.
 func (w *Writer) Bytes() []byte { return w.buf }
 
 // Len returns the number of bytes written so far.
-func (w *Writer) Len() int { return len(w.buf) }
+func (w *Writer) Len() units.ByteCount { return units.Bytes(len(w.buf)) }
 
 // Header writes the common bucket header.
 func (w *Writer) Header(h Header) {
@@ -99,8 +108,8 @@ func (w *Writer) Offset(v int64) {
 func (w *Writer) Raw(p []byte) { w.buf = append(w.buf, p...) }
 
 // Pad writes n zero bytes (bucket slack so fixed-size layouts stay fixed).
-func (w *Writer) Pad(n int) {
-	for i := 0; i < n; i++ {
+func (w *Writer) Pad(n units.ByteCount) {
+	for i := 0; i < int(n); i++ {
 		w.buf = append(w.buf, 0)
 	}
 }
@@ -119,7 +128,7 @@ func NewReader(p []byte) *Reader { return &Reader{buf: p} }
 func (r *Reader) Err() error { return r.err }
 
 // Remaining returns the unread byte count.
-func (r *Reader) Remaining() int { return len(r.buf) - r.pos }
+func (r *Reader) Remaining() units.ByteCount { return units.Bytes(len(r.buf) - r.pos) }
 
 func (r *Reader) need(n int) bool {
 	if r.err != nil {
@@ -134,11 +143,11 @@ func (r *Reader) need(n int) bool {
 
 // Header reads the common bucket header.
 func (r *Reader) Header() Header {
-	if !r.need(HeaderSize) {
+	if !r.need(headerLen) {
 		return Header{}
 	}
 	h := Header{Kind: Kind(r.buf[r.pos]), Seq: binary.BigEndian.Uint32(r.buf[r.pos+1:])}
-	r.pos += HeaderSize
+	r.pos += headerLen
 	return h
 }
 
@@ -186,21 +195,21 @@ func (r *Reader) U64() uint64 {
 func (r *Reader) Offset() int64 { return int64(r.U64()) }
 
 // Raw reads n bytes verbatim.
-func (r *Reader) Raw(n int) []byte {
-	if n < 0 || !r.need(n) {
+func (r *Reader) Raw(n units.ByteCount) []byte {
+	if n < 0 || !r.need(int(n)) {
 		if r.err == nil {
 			r.err = fmt.Errorf("wire: invalid raw length %d", n)
 		}
 		return nil
 	}
-	v := r.buf[r.pos : r.pos+n]
-	r.pos += n
+	v := r.buf[r.pos : r.pos+int(n)]
+	r.pos += int(n)
 	return v
 }
 
 // Skip advances past n padding bytes.
-func (r *Reader) Skip(n int) {
-	if r.need(n) {
-		r.pos += n
+func (r *Reader) Skip(n units.ByteCount) {
+	if r.need(int(n)) {
+		r.pos += int(n)
 	}
 }

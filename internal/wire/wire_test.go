@@ -3,6 +3,8 @@ package wire
 import (
 	"testing"
 	"testing/quick"
+
+	"github.com/airindex/airindex/internal/units"
 )
 
 func TestHeaderRoundTrip(t *testing.T) {
@@ -86,11 +88,11 @@ func TestKindString(t *testing.T) {
 
 func TestQuickU64RoundTrip(t *testing.T) {
 	f := func(vs []uint64) bool {
-		w := NewWriter(len(vs) * 8)
+		w := NewWriter(units.Bytes(len(vs) * 8))
 		for _, v := range vs {
 			w.U64(v)
 		}
-		if w.Len() != len(vs)*8 {
+		if w.Len() != units.Bytes(len(vs)*8) {
 			return false
 		}
 		r := NewReader(w.Bytes())

@@ -10,6 +10,7 @@ import (
 	"github.com/airindex/airindex/internal/core"
 	"github.com/airindex/airindex/internal/datagen"
 	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
 )
 
 func TestPaperScaleBroadcasts(t *testing.T) {
@@ -31,17 +32,17 @@ func TestPaperScaleBroadcasts(t *testing.T) {
 				t.Fatal(err)
 			}
 			ch := bc.Channel()
-			if ch.NumBuckets() < records {
+			if int(ch.NumBuckets()) < records {
 				t.Fatalf("cycle has %d buckets for %d records", ch.NumBuckets(), records)
 			}
 			// The data payload alone is 17.5 MB; overhead must stay within
 			// a small factor for every scheme.
-			if ch.CycleLen() > 4*int64(records)*500 {
+			if ch.CycleLen() > units.Bytes(records).Times(4*500) {
 				t.Fatalf("cycle %d bytes is implausibly large", ch.CycleLen())
 			}
 			for q := 0; q < 25; q++ {
 				rec := rng.Intn(records)
-				arrival := sim.Time(rng.Int63n(ch.CycleLen()))
+				arrival := sim.Time(rng.Int63n(int64(ch.CycleLen())))
 				res, err := access.Walk(ch, bc.NewClient(ds.KeyAt(rec)), arrival, 0)
 				if err != nil {
 					t.Fatal(err)
