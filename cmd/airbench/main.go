@@ -37,6 +37,7 @@ func run(args []string, out io.Writer) error {
 	md := fs.Bool("md", false, "render tables as markdown instead of aligned text")
 	plot := fs.Bool("plot", false, "also render each table as an ASCII chart")
 	seed := fs.Int64("seed", 0, "seed override (0 = default)")
+	shards := fs.Int("shards", 0, "shards per simulation run; results depend on (seed, shards) only (0 = sequential)")
 	quiet := fs.Bool("quiet", false, "suppress per-point progress lines")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,7 +47,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("no experiments given; use 'all' or any of: %s", strings.Join(experiments.IDs(), " "))
 	}
 
-	opt := experiments.Options{Fast: *fast, Seed: *seed}
+	opt := experiments.Options{Fast: *fast, Seed: *seed, Shards: *shards}
 	if !*quiet {
 		opt.Progress = func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "  "+format+"\n", a...)

@@ -26,6 +26,28 @@ func TestRunTable1WithCSV(t *testing.T) {
 	}
 }
 
+// TestRunShardsDeterministic: the -shards flag is accepted, table aliases
+// resolve, and two identical sharded invocations emit identical bytes.
+func TestRunShardsDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	args := []string{"-fast", "-quiet", "-shards", "2", "fig4a"}
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("sharded runs differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), "Access time vs. number of data records") {
+		t.Fatalf("fig4a alias did not produce the access table:\n%s", a.String())
+	}
+	if strings.Contains(a.String(), "Tuning time vs. number of data records") {
+		t.Fatalf("fig4a alias leaked the tuning table:\n%s", a.String())
+	}
+}
+
 func TestRunRequiresExperiments(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-fast"}, &out); err == nil {

@@ -36,6 +36,25 @@ func TestRunWithErrorInjection(t *testing.T) {
 	}
 }
 
+// TestRunShardsFlag: -shards reaches the engine and the run reports the
+// same request accounting as a sequential run.
+func TestRunShardsFlag(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-scheme", "distributed", "-records", "300", "-shards", "4",
+		"-min-requests", "300", "-max-requests", "600", "-accuracy", "0.1", "-round", "150",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "requests") {
+		t.Fatalf("sharded run output incomplete:\n%s", out.String())
+	}
+	if err := run([]string{"-shards", "-2", "-records", "100"}, &out); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+}
+
 func TestRunRejectsUnknownScheme(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-scheme", "nope", "-records", "100"}, &out); err == nil {

@@ -57,6 +57,16 @@ type Config struct {
 	// Seed makes the run reproducible.
 	Seed int64
 
+	// Shards splits the accuracy-control rounds across this many
+	// independent event loops, each drawing its arrival process from the
+	// SplitMix substream splitmix(Seed, shard) against the shared
+	// immutable broadcast image. The stopping rule is applied to the
+	// merged sample after every wave of rounds, so a run's Result is a
+	// pure function of (Seed, Shards) — bit-identical regardless of
+	// GOMAXPROCS or goroutine scheduling. 0 or 1 selects the sequential
+	// single-stream path, whose request stream matches pre-sharding runs.
+	Shards int
+
 	// BitErrorRate corrupts each bucket read independently with this
 	// probability (error-prone channel extension; 0 disables).
 	BitErrorRate float64
@@ -97,6 +107,7 @@ func DefaultConfig(scheme string, records int) Config {
 		MinRequests:  2000,
 		MaxRequests:  200000,
 		Seed:         42,
+		Shards:       1,
 		Onem:         onem.DefaultOptions(),
 		Dist:         dist.DefaultOptions(),
 		Hashing:      hashing.DefaultOptions(),
@@ -131,6 +142,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: bit error rate %v outside [0,1)", c.BitErrorRate)
 	case c.ZipfS != 0 && c.ZipfS <= 1:
 		return fmt.Errorf("core: zipf exponent %v must exceed 1 (or be 0 for uniform)", c.ZipfS)
+	case c.ZipfS > 1 && c.Data.NumRecords < 2:
+		return fmt.Errorf("core: zipf workload (s=%v) needs at least 2 records, have %d: rank generation is undefined for a single record", c.ZipfS, c.Data.NumRecords)
+	case c.Shards < 0:
+		return fmt.Errorf("core: shards %d must be positive (or 0 for the single-shard default)", c.Shards)
+	case c.Shards > c.MaxRequests:
+		return fmt.Errorf("core: shards %d exceeds max requests %d; every shard needs at least one request of budget", c.Shards, c.MaxRequests)
 	case c.DozePowerRatio < 0 || c.DozePowerRatio > 1:
 		return fmt.Errorf("core: doze power ratio %v outside [0,1]", c.DozePowerRatio)
 	}

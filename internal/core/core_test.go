@@ -35,6 +35,9 @@ func TestValidateCatchesBadConfigs(t *testing.T) {
 		func(c *Config) { c.MaxRequests = 10 },
 		func(c *Config) { c.BitErrorRate = 1 },
 		func(c *Config) { c.Data.NumRecords = 0 },
+		func(c *Config) { c.Shards = -1 },
+		func(c *Config) { c.Shards = c.MaxRequests + 1 },
+		func(c *Config) { c.ZipfS = 1.5; c.Data.NumRecords = 1 },
 	}
 	for i, mutate := range mutations {
 		cfg := DefaultConfig("flat", 100)

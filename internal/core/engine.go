@@ -1,0 +1,238 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/stats"
+)
+
+// This file is the round-sharded simulation engine — one of the two
+// sanctioned concurrency sites in the repository (the other is the
+// experiment harness's parallel.go; the airlint confinement analyzer
+// rejects goroutines anywhere else).
+//
+// The paper's stopping rule (§4.1) runs the simulation in rounds of
+// RoundSize requests and stops when the confidence half-width of the
+// accumulated sample is small enough. Requests are independent processes
+// over a deterministic periodic schedule, so rounds can run concurrently:
+// each shard drives its own event loop and arrival process from the RNG
+// substream splitmix(Seed, shard) against the shared immutable broadcast
+// image. After every wave — one round per still-active shard — the engine
+// merges the per-shard samples (parallel Welford for moments, weighted
+// marker-CDF merge for the P² tails) and applies the stopping rule to the
+// merged sample.
+//
+// Determinism: a shard's state is a pure function of (Seed, shard) and
+// the wave count, goroutines never touch another shard's state, and the
+// merge walks shards in index order — so the Result is bit-identical for
+// a given (Seed, Shards) pair regardless of GOMAXPROCS or scheduling.
+
+// shardRunner is one shard's private slice of a run: its own event loop,
+// RNG substream, arrival process and accumulators. A wave's goroutine
+// touches exactly one shardRunner; the wave barrier is the only
+// synchronization.
+type shardRunner struct {
+	idx    int
+	rng    *sim.RNG
+	zipf   func() int // nil for the uniform workload
+	eng    *sim.Simulator
+	budget int64 // request cap; shard budgets sum to MaxRequests
+
+	requests, found, notFound int64
+	restarts                  int64
+	rounds                    int
+	inRound                   int
+	done                      bool  // budget exhausted; queue drained
+	walkErr                   error // request-process failure, first wins by index
+	runErr                    error // event-loop result for the current wave
+
+	access, tuning, energy, probes stats.Sample
+	accessP95, accessP99           *stats.Quantile
+	tuningP95, tuningP99           *stats.Quantile
+}
+
+// newShardRunner builds shard i of n for the run. A single shard reuses
+// the base seed directly so that a one-shard engine run reproduces the
+// sequential path's request stream byte for byte; multiple shards draw
+// from SplitMix substreams.
+func (s *Simulator) newShardRunner(i, n int) *shardRunner {
+	rng := sim.NewRNG(s.cfg.Seed)
+	if n > 1 {
+		rng = sim.NewShardRNG(s.cfg.Seed, i)
+	}
+	sh := &shardRunner{
+		idx:       i,
+		rng:       rng,
+		eng:       sim.New(),
+		budget:    int64(s.cfg.MaxRequests / n),
+		accessP95: stats.MustQuantile(0.95),
+		accessP99: stats.MustQuantile(0.99),
+		tuningP95: stats.MustQuantile(0.95),
+		tuningP99: stats.MustQuantile(0.99),
+	}
+	if i < s.cfg.MaxRequests%n {
+		sh.budget++
+	}
+	if s.cfg.ZipfS > 1 {
+		sh.zipf = rng.Zipf(s.cfg.ZipfS, s.ds.Len())
+	}
+	sh.eng.After(sh.rng.Exponential(s.cfg.RequestMean), s.shardArrival(sh))
+	return sh
+}
+
+// shardArrival returns the shard's self-rescheduling arrival callback.
+// The callback mirrors the sequential loop's order of operations —
+// request, accumulate, round boundary, budget check, next draw — so that
+// a one-shard run consumes the RNG stream identically. At a round
+// boundary it schedules the next arrival and then stops the loop, leaving
+// the pending arrival queued for the next wave.
+func (s *Simulator) shardArrival(sh *shardRunner) func(*sim.Simulator) {
+	var arrive func(*sim.Simulator)
+	arrive = func(eng *sim.Simulator) {
+		key := s.pickKey(sh.rng, sh.zipf)
+		r, err := s.runRequest(sh.rng, key, eng.Now())
+		if err != nil {
+			sh.walkErr = err
+			eng.Stop()
+			return
+		}
+		sh.requests++
+		if r.Found {
+			sh.found++
+		} else {
+			sh.notFound++
+		}
+		sh.access.Add(float64(r.Access))
+		sh.tuning.Add(float64(r.Tuning))
+		sh.energy.Add(float64(r.Tuning) + s.cfg.DozePowerRatio*float64(r.Access-r.Tuning))
+		sh.probes.Add(float64(r.Probes))
+		sh.restarts += int64(r.Restarts)
+		sh.accessP95.Add(float64(r.Access))
+		sh.accessP99.Add(float64(r.Access))
+		sh.tuningP95.Add(float64(r.Tuning))
+		sh.tuningP99.Add(float64(r.Tuning))
+
+		boundary := false
+		sh.inRound++
+		if sh.inRound >= s.cfg.RoundSize {
+			sh.inRound = 0
+			sh.rounds++
+			boundary = true
+		}
+		if sh.requests >= sh.budget {
+			sh.done = true
+			return // no reschedule; the queue drains and the wave ends
+		}
+		eng.After(sh.rng.Exponential(s.cfg.RequestMean), arrive)
+		if boundary {
+			eng.Stop()
+		}
+	}
+	return arrive
+}
+
+// runSharded executes the run as waves of concurrent rounds. It is also
+// valid for Shards <= 1 (the differential tests drive it directly), where
+// it reproduces the sequential path's Result exactly.
+func (s *Simulator) runSharded() (*Result, error) {
+	n := s.cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	shards := make([]*shardRunner, n)
+	for i := range shards {
+		shards[i] = s.newShardRunner(i, n)
+	}
+
+	for {
+		var active []*shardRunner
+		for _, sh := range shards {
+			if !sh.done {
+				active = append(active, sh)
+			}
+		}
+		if len(active) == 0 {
+			break // every shard exhausted its budget without converging
+		}
+		startRounds := make([]int, len(active))
+		for i, sh := range active {
+			startRounds[i] = sh.rounds
+		}
+
+		var wg sync.WaitGroup
+		for _, sh := range active {
+			wg.Add(1)
+			go func(sh *shardRunner) {
+				defer wg.Done()
+				sh.runErr = sh.eng.Run(0)
+			}(sh)
+		}
+		wg.Wait()
+
+		for _, sh := range active {
+			if sh.runErr != nil && sh.runErr != sim.ErrStopped {
+				return nil, sh.runErr
+			}
+			if sh.walkErr != nil {
+				return nil, sh.walkErr
+			}
+		}
+
+		merged := s.mergeShards(shards)
+		// The stopping rule only fires on a complete wave: every shard
+		// that started the wave finished a full round, so the merged
+		// sample is a whole number of rounds per shard — the sharded
+		// analogue of the sequential rule's round boundary.
+		waveComplete := true
+		for i, sh := range active {
+			if sh.rounds == startRounds[i] {
+				waveComplete = false
+			}
+		}
+		if waveComplete && s.accuracyMet(merged) && merged.Requests >= int64(s.cfg.MinRequests) {
+			merged.Converged = true
+			return merged, nil
+		}
+		if merged.Requests >= int64(s.cfg.MaxRequests) {
+			return merged, nil
+		}
+	}
+	return s.mergeShards(shards), nil
+}
+
+// mergeShards folds every shard's accumulators, in index order, into a
+// fresh Result. Rebuilding from scratch at each wave barrier keeps the
+// merged state a pure function of the per-shard states.
+func (s *Simulator) mergeShards(shards []*shardRunner) *Result {
+	res := &Result{
+		Scheme:     s.cfg.Scheme,
+		CycleBytes: s.bc.Channel().CycleLen(),
+		Params:     s.bc.Params(),
+	}
+	a95 := stats.MustQuantile(0.95)
+	a99 := stats.MustQuantile(0.99)
+	t95 := stats.MustQuantile(0.95)
+	t99 := stats.MustQuantile(0.99)
+	for _, sh := range shards {
+		res.Requests += sh.requests
+		res.Found += sh.found
+		res.NotFound += sh.notFound
+		res.Restarts += sh.restarts
+		res.Rounds += sh.rounds
+		res.Events += sh.eng.Processed
+		res.Access.Merge(&sh.access)
+		res.Tuning.Merge(&sh.tuning)
+		res.Energy.Merge(&sh.energy)
+		res.Probes.Merge(&sh.probes)
+		a95.Merge(sh.accessP95)
+		a99.Merge(sh.accessP99)
+		t95.Merge(sh.tuningP95)
+		t99.Merge(sh.tuningP99)
+	}
+	res.AccessP95 = a95.Value()
+	res.AccessP99 = a99.Value()
+	res.TuningP95 = t95.Value()
+	res.TuningP99 = t99.Value()
+	return res
+}

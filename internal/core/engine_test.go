@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// runSharded drives a fresh simulator's sharded engine for cfg directly,
+// so tests can compare it against the public sequential path.
+func runShardedFresh(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.runSharded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestOneShardMatchesSequential is the differential anchor of the sharded
+// engine: with a single shard it must reproduce the sequential path's
+// Result byte for byte — same request stream, same accumulators, same
+// tail estimates, same event count — across the uniform, faulty-channel
+// and Zipf workloads.
+func TestOneShardMatchesSequential(t *testing.T) {
+	cases := map[string]func(*Config){
+		"uniform":      func(c *Config) {},
+		"faulty":       func(c *Config) { c.BitErrorRate = 0.1 },
+		"zipf":         func(c *Config) { c.ZipfS = 1.3 },
+		"partialavail": func(c *Config) { c.Availability = 0.7 },
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			cfg := smallConfig("distributed", 300)
+			cfg.Shards = 1
+			mutate(&cfg)
+			seq, err := RunOne(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded := runShardedFresh(t, cfg)
+			if !reflect.DeepEqual(seq, sharded) {
+				t.Fatalf("one-shard engine diverged from sequential path:\nseq:     %+v\nsharded: %+v", seq, sharded)
+			}
+		})
+	}
+}
+
+// TestFourShardsAgreeWithinAccuracy: different shard counts sample
+// different request streams, so results differ — but both runs converged
+// to the configured confidence accuracy, so their means must agree within
+// the combined half-widths (2x the per-run accuracy bound).
+func TestFourShardsAgreeWithinAccuracy(t *testing.T) {
+	cfg := smallConfig("distributed", 300)
+	cfg.Accuracy = 0.05
+	cfg.MinRequests = 1000
+	cfg.MaxRequests = 60000
+	seq, err := RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = 4
+	sharded, err := RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Converged || !sharded.Converged {
+		t.Fatalf("both runs should converge (seq %v, sharded %v)", seq.Converged, sharded.Converged)
+	}
+	for _, c := range []struct {
+		name string
+		a, b float64
+	}{
+		{"access", seq.Access.Mean(), sharded.Access.Mean()},
+		{"tuning", seq.Tuning.Mean(), sharded.Tuning.Mean()},
+	} {
+		if rel := math.Abs(c.a-c.b) / c.a; rel > 2*cfg.Accuracy {
+			t.Errorf("%s means disagree beyond combined accuracy: seq %v vs sharded %v (rel %v)", c.name, c.a, c.b, rel)
+		}
+	}
+	if sharded.Requests == 0 || sharded.Rounds < 4 {
+		t.Fatalf("sharded bookkeeping wrong: %+v", sharded)
+	}
+}
+
+// TestShardedDeterministicAcrossGOMAXPROCS pins the determinism contract:
+// for a fixed (seed, shards) pair the Result is bit-identical however
+// many OS threads schedule the shard goroutines, and across repeat runs.
+func TestShardedDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	cfg := smallConfig("distributed", 300)
+	cfg.Shards = 4
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	narrow, err := RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GOMAXPROCS(8)
+	wide, err := RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repeat, err := RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(narrow, wide) {
+		t.Fatalf("GOMAXPROCS changed the sharded result:\n1: %+v\n8: %+v", narrow, wide)
+	}
+	if !reflect.DeepEqual(wide, repeat) {
+		t.Fatal("repeat sharded run differed")
+	}
+}
+
+// TestShardedRequestCap: with convergence out of reach, shard budgets
+// (which sum exactly to MaxRequests, even when it doesn't divide evenly)
+// bound the run.
+func TestShardedRequestCap(t *testing.T) {
+	cfg := smallConfig("flat", 200)
+	cfg.Accuracy = 0.001
+	cfg.Confidence = 0.999
+	cfg.MinRequests = 100
+	cfg.MaxRequests = 1003 // not divisible by 4: budgets 251,251,251,250
+	cfg.Shards = 4
+	res, err := RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("0.1% accuracy should not converge within 1003 requests")
+	}
+	if res.Requests != 1003 {
+		t.Fatalf("capped run served %d requests, want exactly 1003", res.Requests)
+	}
+}
+
+// TestZipfSingleRecordRejected pins the validation bugfix: a Zipf
+// workload over a 1-record dataset used to pass Validate and only fail at
+// runtime; now it is rejected up front with a descriptive error.
+func TestZipfSingleRecordRejected(t *testing.T) {
+	cfg := smallConfig("flat", 1)
+	cfg.ZipfS = 1.5
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("zipf over a single record accepted")
+	}
+	if !strings.Contains(err.Error(), "zipf") || !strings.Contains(err.Error(), "2 records") {
+		t.Fatalf("error %q does not describe the zipf record-count requirement", err)
+	}
+	if _, rerr := RunOne(cfg); rerr == nil {
+		t.Fatal("RunOne accepted the invalid zipf config")
+	}
+}
+
+// TestZipfSmallestLegalConfig runs the smallest dataset a Zipf workload
+// accepts (2 records) end to end, on both engine paths.
+func TestZipfSmallestLegalConfig(t *testing.T) {
+	cfg := smallConfig("flat", 2)
+	cfg.ZipfS = 1.5
+	cfg.Accuracy = 0.2
+	cfg.MinRequests = 100
+	cfg.MaxRequests = 1000
+	for _, shards := range []int{1, 2} {
+		cfg.Shards = shards
+		res, err := RunOne(cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if res.Requests < 100 || res.Found != res.Requests {
+			t.Fatalf("shards=%d: 2-record zipf run broken: %+v", shards, res)
+		}
+	}
+}

@@ -83,16 +83,18 @@ func (s *Simulator) Broadcast() access.Broadcast { return s.bc }
 // Dataset exposes the generated data source.
 func (s *Simulator) Dataset() *datagen.Dataset { return s.ds }
 
-// pickKey draws a request key: a stored key with probability Availability,
-// otherwise a key provably absent from the broadcast.
-func (s *Simulator) pickKey() uint64 {
+// pickKey draws a request key from the given RNG stream: a stored key
+// with probability Availability, otherwise a key provably absent from the
+// broadcast. zipf may be nil for the uniform workload. The stream is a
+// parameter so each shard of a sharded run can drive its own substream.
+func (s *Simulator) pickKey(rng *sim.RNG, zipf func() int) uint64 {
 	var i int
-	if s.zipf != nil {
-		i = s.zipf()
+	if zipf != nil {
+		i = zipf()
 	} else {
-		i = s.rng.Intn(s.ds.Len())
+		i = rng.Intn(s.ds.Len())
 	}
-	if s.cfg.Availability >= 1 || s.rng.Float64() < s.cfg.Availability {
+	if s.cfg.Availability >= 1 || rng.Float64() < s.cfg.Availability {
 		return s.ds.KeyAt(i)
 	}
 	return s.ds.MissingKeyNear(i)
@@ -108,7 +110,19 @@ func (s *Simulator) pickKey() uint64 {
 // channel is resolved by direct channel arithmetic at its arrival event —
 // an observably equivalent optimization over scheduling one event per
 // bucket read. The event queue carries arrivals and round boundaries.
+//
+// With Config.Shards > 1 the run is delegated to the round-sharded engine
+// (engine.go), which exploits exactly this independence across shards.
 func (s *Simulator) Run() (*Result, error) {
+	if s.cfg.Shards > 1 {
+		return s.runSharded()
+	}
+	return s.runSequential()
+}
+
+// runSequential is the single-stream path: one event loop, one RNG, the
+// stopping rule applied inline at each round boundary.
+func (s *Simulator) runSequential() (*Result, error) {
 	res := &Result{
 		Scheme:     s.cfg.Scheme,
 		CycleBytes: s.bc.Channel().CycleLen(),
@@ -124,8 +138,8 @@ func (s *Simulator) Run() (*Result, error) {
 
 	var arrive func(*sim.Simulator)
 	arrive = func(eng *sim.Simulator) {
-		key := s.pickKey()
-		r, err := s.runRequest(key, eng.Now())
+		key := s.pickKey(s.rng, s.zipf)
+		r, err := s.runRequest(s.rng, key, eng.Now())
 		if err != nil {
 			walkErr = err
 			eng.Stop()
@@ -183,13 +197,14 @@ func (s *Simulator) accuracyMet(res *Result) bool {
 		res.Tuning.Converged(s.cfg.Confidence, s.cfg.Accuracy)
 }
 
-// runRequest executes one request process.
-func (s *Simulator) runRequest(key uint64, arrival sim.Time) (access.FaultyResult, error) {
+// runRequest executes one request process, drawing any error-injection
+// randomness from the given stream.
+func (s *Simulator) runRequest(rng *sim.RNG, key uint64, arrival sim.Time) (access.FaultyResult, error) {
 	if s.cfg.BitErrorRate > 0 {
 		return access.WalkFaulty(
 			s.bc.Channel(),
 			func() access.Client { return s.bc.NewClient(key) },
-			arrival, s.cfg.BitErrorRate, s.rng.Float64, 0,
+			arrival, s.cfg.BitErrorRate, rng.Float64, 0,
 		)
 	}
 	r, err := access.Walk(s.bc.Channel(), s.bc.NewClient(key), arrival, 0)

@@ -22,6 +22,11 @@ type Options struct {
 	Fast bool
 	// Seed overrides the run seed (0 keeps the default).
 	Seed int64
+	// Shards forwards core.Config.Shards to every point: each run's
+	// accuracy-control rounds execute across this many deterministic RNG
+	// substreams (0 keeps the single-shard default). Results depend on
+	// (Seed, Shards) but not on scheduling; see DESIGN.md §7.
+	Shards int
 	// Progress, when non-nil, receives one line per completed point.
 	Progress func(format string, args ...any)
 }
@@ -47,6 +52,9 @@ func (o Options) baseConfig(scheme string, records int) core.Config {
 	}
 	if o.Seed != 0 {
 		cfg.Seed = o.Seed
+	}
+	if o.Shards > 0 {
+		cfg.Shards = o.Shards
 	}
 	return cfg
 }
@@ -90,7 +98,17 @@ var registry = map[string]Runner{
 	"ext-multiattr":  ExtMultiAttribute,
 }
 
-// IDs lists the available experiment IDs, sorted.
+// tableAliases name a single table of a multi-table experiment, so e.g.
+// `airbench fig4a` runs Fig4 and keeps only its access-time table.
+var tableAliases = map[string]string{
+	"fig4a": "fig4", "fig4b": "fig4",
+	"fig5a": "fig5", "fig5b": "fig5",
+	"fig6a": "fig6", "fig6b": "fig6",
+}
+
+// IDs lists the available experiment IDs, sorted. Table aliases (fig4a,
+// fig5b, ...) are accepted by Run but not listed, so RunAll never runs an
+// experiment twice.
 func IDs() []string {
 	ids := make([]string, 0, len(registry))
 	for id := range registry {
@@ -100,11 +118,23 @@ func IDs() []string {
 	return ids
 }
 
-// Run executes one experiment by ID.
+// Run executes one experiment by ID or single-table alias.
 func Run(id string, opt Options) ([]*Table, error) {
+	if base, ok := tableAliases[id]; ok {
+		ts, err := registry[base](opt)
+		if err != nil {
+			return nil, err
+		}
+		for _, tb := range ts {
+			if tb.ID == id {
+				return []*Table{tb}, nil
+			}
+		}
+		return nil, fmt.Errorf("experiments: %s produced no table %q", base, id)
+	}
 	r, ok := registry[id]
 	if !ok {
-		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v and table aliases fig4a...fig6b)", id, IDs())
 	}
 	return r(opt)
 }
@@ -182,8 +212,12 @@ var nanF = func() float64 {
 }()
 
 // Table1 reproduces the paper's Table 1: the common simulation settings.
+// The table always states the paper's constants — 7,000–34,000 records,
+// 500-request rounds, 0.99 confidence, 0.01 accuracy — whatever profile
+// the session runs with; the active profile is a note, not the data.
 func Table1(opt Options) ([]*Table, error) {
-	cfg := opt.baseConfig("distributed", 34000)
+	paper := Options{}
+	cfg := paper.baseConfig("distributed", 34000)
 	t := &Table{
 		ID:     "table1",
 		Title:  "Simulation settings (paper Table 1)",
@@ -194,7 +228,7 @@ func Table1(opt Options) ([]*Table, error) {
 			"round_requests", "confidence", "accuracy", "max_requests",
 		},
 	}
-	sweep := opt.recordSweep()
+	sweep := paper.recordSweep()
 	t.AddRow(1,
 		float64(sweep[0]), float64(sweep[len(sweep)-1]),
 		float64(cfg.Data.RecordSize), float64(cfg.Data.KeySize),
@@ -202,5 +236,12 @@ func Table1(opt Options) ([]*Table, error) {
 		float64(cfg.MaxRequests))
 	t.Note("data type: text (synthetic dictionary); request interval: exponential distribution")
 	t.Note("access and tuning time measured in bytes read, per paper §4.1")
+	if opt.Fast {
+		fastCfg := opt.baseConfig("distributed", 34000)
+		fastSweep := opt.recordSweep()
+		t.Note("active profile: fast — records %d–%d, rounds of %d, accuracy %g, max %d requests",
+			fastSweep[0], fastSweep[len(fastSweep)-1],
+			fastCfg.RoundSize, fastCfg.Accuracy, fastCfg.MaxRequests)
+	}
 	return []*Table{t}, nil
 }

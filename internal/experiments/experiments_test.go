@@ -99,6 +99,67 @@ func TestTable1(t *testing.T) {
 	}
 }
 
+// TestTable1FastProfileStillPaperConstants pins the labelling bugfix:
+// Table 1 claims to be "paper Table 1", so its cells must hold the
+// paper's constants (7,000–34,000 records, 500-request rounds, 0.99/0.01,
+// 60,000-request cap) even when the session runs the fast profile — which
+// is instead described in a table note.
+func TestTable1FastProfileStillPaperConstants(t *testing.T) {
+	for _, opt := range []Options{{}, {Fast: true}} {
+		ts, err := Table1(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb := ts[0]
+		for _, c := range []struct {
+			col  string
+			want float64
+		}{
+			{"records_min", 7000},
+			{"records_max", 34000},
+			{"round_requests", 500},
+			{"confidence", 0.99},
+			{"accuracy", 0.01},
+			{"max_requests", 60000},
+		} {
+			if v := col(t, tb, c.col); v[0] != c.want {
+				t.Errorf("fast=%v: %s = %v, want %v (paper constant)", opt.Fast, c.col, v[0], c.want)
+			}
+		}
+		notes := strings.Join(tb.Notes, "\n")
+		if opt.Fast && !strings.Contains(notes, "fast") {
+			t.Error("fast profile should be declared in a table note")
+		}
+		if !opt.Fast && strings.Contains(notes, "fast") {
+			t.Error("full profile run mentions the fast profile")
+		}
+	}
+}
+
+// TestTableAliases: single-table IDs run the parent experiment and keep
+// only the requested table.
+func TestTableAliases(t *testing.T) {
+	ts, err := Run("fig4a", fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || ts[0].ID != "fig4a" {
+		t.Fatalf("alias fig4a returned %d tables, first ID %q", len(ts), ts[0].ID)
+	}
+}
+
+// TestOptionsShardsForwarded: the Shards option reaches every point's
+// core config.
+func TestOptionsShardsForwarded(t *testing.T) {
+	opt := Options{Fast: true, Shards: 4}
+	if cfg := opt.baseConfig("flat", 100); cfg.Shards != 4 {
+		t.Fatalf("baseConfig dropped Shards: %+v", cfg.Shards)
+	}
+	if cfg := (Options{Fast: true}).baseConfig("flat", 100); cfg.Shards != 1 {
+		t.Fatalf("default config should stay single-shard, got %d", cfg.Shards)
+	}
+}
+
 // TestFig4Shapes pins the paper's Figure 4 qualitative results in fast
 // mode: access ordering flat < signature < distributed < hashing, tuning
 // ordering hashing < distributed < signature, simulation close to the

@@ -13,25 +13,43 @@ import (
 // GOMAXPROCS) and returns results in input order. Every run is seeded by
 // its own config, so the output is identical to a sequential sweep.
 //
-// This file is the testbed's only sanctioned concurrency layer: the
-// confinement analyzer (internal/lint) rejects goroutines, WaitGroups and
-// channel construction everywhere else, so the simulation kernel below
-// this point is single-threaded by construction.
+// This file and the round-sharded engine (internal/core/engine.go) are
+// the testbed's only sanctioned concurrency layers: the confinement
+// analyzer (internal/lint) rejects goroutines, WaitGroups and channel
+// construction everywhere else, so the simulation kernel below this point
+// is single-threaded by construction.
 func runPoints(opt Options, cfgs []core.Config) ([]*core.Result, error) {
 	results := make([]*core.Result, len(cfgs))
 	errs := make([]error, len(cfgs))
 	var progressMu sync.Mutex
-	// Acquire the semaphore slot before spawning: at most GOMAXPROCS
-	// goroutines exist at a time, so the large per-run state core.RunOne
-	// allocates (broadcast image, client pools) is bounded the same way.
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	// The semaphore budgets CPU demand, not run count: a sharded run
+	// occupies Shards slots (capped at the capacity) because the engine
+	// drives that many event loops at once. Slots are acquired here in the
+	// loop before spawning — never inside the goroutines — so acquisition
+	// of multiple slots cannot deadlock, and the large per-run state
+	// core.RunOne allocates (broadcast image, client pools) stays bounded.
+	capacity := runtime.GOMAXPROCS(0)
+	sem := make(chan struct{}, capacity)
 	var wg sync.WaitGroup
 	for i := range cfgs {
-		sem <- struct{}{}
+		weight := cfgs[i].Shards
+		if weight < 1 {
+			weight = 1
+		}
+		if weight > capacity {
+			weight = capacity
+		}
+		for s := 0; s < weight; s++ {
+			sem <- struct{}{}
+		}
 		wg.Add(1)
-		go func(i int) {
+		go func(i, weight int) {
 			defer wg.Done()
-			defer func() { <-sem }()
+			defer func() {
+				for s := 0; s < weight; s++ {
+					<-sem
+				}
+			}()
 			cfg := cfgs[i]
 			res, err := core.RunOne(cfg)
 			if err != nil {
@@ -44,7 +62,7 @@ func runPoints(opt Options, cfgs []core.Config) ([]*core.Result, error) {
 				cfg.Scheme, cfg.Data.NumRecords, cfg.Availability*100,
 				res.Access.Mean(), res.Tuning.Mean(), res.Requests)
 			progressMu.Unlock()
-		}(i)
+		}(i, weight)
 	}
 	wg.Wait()
 	// errors.Join keeps input order, so the first failing point leads the

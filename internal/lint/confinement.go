@@ -3,41 +3,59 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
-// sanctionedConcurrency is the one file allowed to spawn goroutines and
-// use fan-out primitives. Keeping the simulation kernel single-threaded
-// by construction is what lets `go test` and `go test -race` agree with
-// the paper's sequential byte-clock semantics; parallelism exists only at
-// the whole-run granularity, where every run is independently seeded.
-const sanctionedConcurrency = "internal/experiments/parallel.go"
+// sanctionedConcurrency lists the only files allowed to spawn goroutines
+// and use fan-out primitives: the experiment harness's whole-run fan-out
+// and the core round-sharded engine's wave barrier. Keeping the rest of
+// the simulation kernel single-threaded by construction is what lets
+// `go test` and `go test -race` agree with the paper's sequential
+// byte-clock semantics; parallelism exists only where every unit of work
+// (a run, a shard) is independently seeded and merged deterministically.
+var sanctionedConcurrency = []string{
+	"internal/core/engine.go",
+	"internal/experiments/parallel.go",
+}
+
+// sanctionedList is the allowlist formatted for diagnostics.
+var sanctionedList = strings.Join(sanctionedConcurrency, " or ")
+
+func isSanctioned(file string) bool {
+	for _, s := range sanctionedConcurrency {
+		if file == s {
+			return true
+		}
+	}
+	return false
+}
 
 // ConfinementAnalyzer flags `go` statements, sync.WaitGroup usage, and
 // channel construction (`make(chan ...)`) outside the sanctioned
 // concurrency layer.
 var ConfinementAnalyzer = &Analyzer{
 	Name: "confinement",
-	Doc:  "restrict goroutines, WaitGroups and channel fan-out to " + sanctionedConcurrency,
+	Doc:  "restrict goroutines, WaitGroups and channel fan-out to " + sanctionedList,
 	Run:  runConfinement,
 }
 
 func runConfinement(pass *Pass) {
 	for _, f := range pass.Files {
-		if pass.RelFile[f] == sanctionedConcurrency {
+		if isSanctioned(pass.RelFile[f]) {
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.GoStmt:
-				pass.Reportf(n.Go, "go statement outside %s; the sim kernel is single-threaded by construction", sanctionedConcurrency)
+				pass.Reportf(n.Go, "go statement outside %s; the sim kernel is single-threaded by construction", sanctionedList)
 			case *ast.SelectorExpr:
 				if obj, ok := pass.Info.Uses[n.Sel]; ok && isSyncFanOut(obj) {
-					pass.Reportf(n.Pos(), "sync.%s outside %s; fan-out belongs to the sanctioned concurrency layer", obj.Name(), sanctionedConcurrency)
+					pass.Reportf(n.Pos(), "sync.%s outside %s; fan-out belongs to the sanctioned concurrency layer", obj.Name(), sanctionedList)
 				}
 			case *ast.CallExpr:
 				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "make" && len(n.Args) > 0 {
 					if _, isChan := n.Args[0].(*ast.ChanType); isChan {
-						pass.Reportf(n.Pos(), "channel construction outside %s; fan-out belongs to the sanctioned concurrency layer", sanctionedConcurrency)
+						pass.Reportf(n.Pos(), "channel construction outside %s; fan-out belongs to the sanctioned concurrency layer", sanctionedList)
 					}
 				}
 			}

@@ -1,0 +1,21 @@
+// Package core mirrors the real module's round-sharded engine file:
+// internal/core/engine.go is the second sanctioned concurrency site, so
+// its goroutines, WaitGroups and channels must pass the confinement
+// analyzer here exactly as parallel.go's do.
+package core
+
+import "sync"
+
+func RunWave(shards []func()) {
+	done := make(chan int, len(shards))
+	var wg sync.WaitGroup
+	for i, run := range shards {
+		wg.Add(1)
+		go func(i int, run func()) {
+			defer wg.Done()
+			run()
+			done <- i
+		}(i, run)
+	}
+	wg.Wait()
+}

@@ -18,6 +18,25 @@ func NewRNG(seed int64) *RNG {
 	return &RNG{r: rand.New(rand.NewSource(seed))}
 }
 
+// SplitMix derives the seed of the shard-th RNG substream from a base
+// seed with the SplitMix64 finalizer (Steele, Lea & Flood, OOPSLA 2014):
+// the shard index advances the golden-gamma counter and the output mix
+// decorrelates even adjacent shards. Substreams are what let the
+// round-sharded engine give every shard its own arrival process while a
+// run stays a pure function of (seed, shards).
+func SplitMix(seed int64, shard int) int64 {
+	x := uint64(seed) + uint64(shard+1)*0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return int64(x ^ (x >> 31))
+}
+
+// NewShardRNG returns the deterministic generator for one shard's
+// substream: NewRNG(SplitMix(seed, shard)).
+func NewShardRNG(seed int64, shard int) *RNG {
+	return NewRNG(SplitMix(seed, shard))
+}
+
 // Exponential draws an exponentially distributed duration with the given
 // mean, rounded up to at least one time unit. The paper's request
 // generation process "follows exponential distribution" (§3).
@@ -26,13 +45,13 @@ func (g *RNG) Exponential(mean float64) Time {
 		return 1
 	}
 	d := g.r.ExpFloat64() * mean
-	if d < 1 {
+	if d <= 1 {
 		return 1
 	}
 	if d > math.MaxInt64/2 {
 		return Time(math.MaxInt64 / 2)
 	}
-	return Time(d)
+	return Time(math.Ceil(d))
 }
 
 // Intn draws a uniform integer in [0, n).

@@ -108,6 +108,140 @@ func (q *Quantile) Add(x float64) {
 	}
 }
 
+// Merge folds another estimator of the same quantile into q, weighting
+// each side by its observation count. The round-sharded engine uses it to
+// combine per-shard tail estimators at every wave barrier: the merge is a
+// pure function of the two states, so a merged Result is bit-identical
+// however the shards were scheduled.
+//
+// Semantics by state: an empty receiver copies o verbatim (so a
+// one-shard merge is exact); a side still buffering its first five
+// observations replays them through Add (also exact); two initialized
+// estimators combine their five-marker summaries by inverting the
+// count-weighted mixture of their piecewise-linear marker CDFs — an
+// approximation, like P² itself, whose error the tests bound against
+// exact order statistics. o is never modified.
+func (q *Quantile) Merge(o *Quantile) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if math.Abs(q.p-o.p) > 1e-12 {
+		panic(fmt.Sprintf("stats: merging estimators for different quantiles %v and %v", q.p, o.p))
+	}
+	if q.n == 0 {
+		q.copyFrom(o)
+		return
+	}
+	if o.n < 5 {
+		for _, x := range o.initial {
+			q.Add(x)
+		}
+		return
+	}
+	if q.n < 5 {
+		pending := append([]float64(nil), q.initial...)
+		q.copyFrom(o)
+		for _, x := range pending {
+			q.Add(x)
+		}
+		return
+	}
+	q.mergeInitialized(o)
+}
+
+// copyFrom makes q a deep copy of o.
+func (q *Quantile) copyFrom(o *Quantile) {
+	*q = *o
+	q.initial = append([]float64(nil), o.initial...)
+}
+
+// mergeInitialized merges two fully initialized (n >= 5) estimators.
+func (q *Quantile) mergeInitialized(o *Quantile) {
+	total := q.n + o.n
+	// Breakpoints of the mixture CDF: the union of both marker sets.
+	xs := make([]float64, 0, 10)
+	xs = append(xs, q.heights[:]...)
+	xs = append(xs, o.heights[:]...)
+	sort.Float64s(xs)
+	wq := float64(q.n) / float64(total)
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = wq*markerCDF(&q.heights, &q.pos, q.n, x) + (1-wq)*markerCDF(&o.heights, &o.pos, o.n, x)
+	}
+	// Re-seat the five markers at their canonical quantiles of the mixture.
+	us := [5]float64{0, q.p / 2, q.p, (1 + q.p) / 2, 1}
+	var h [5]float64
+	for i, u := range us {
+		h[i] = invertPiecewise(xs, fs, u)
+	}
+	for i := 1; i < 5; i++ {
+		if h[i] < h[i-1] {
+			h[i] = h[i-1]
+		}
+	}
+	q.n = total
+	q.heights = h
+	// Desired positions after n observations are want_i = 1 + (n-1)·u_i
+	// (the closed form of the per-Add increments); actual positions snap
+	// to the nearest integers kept strictly increasing within [1, n].
+	for i, u := range us {
+		q.want[i] = 1 + float64(total-1)*u
+	}
+	q.pos[0] = 1
+	q.pos[4] = float64(total)
+	for i := 1; i <= 3; i++ {
+		p := math.Round(q.want[i])
+		if p < q.pos[i-1]+1 {
+			p = q.pos[i-1] + 1
+		}
+		if hi := float64(total) - float64(4-i); p > hi {
+			p = hi
+		}
+		q.pos[i] = p
+	}
+	q.initial = nil
+}
+
+// markerCDF evaluates the piecewise-linear CDF through the five marker
+// points (heights[i], (pos[i]-1)/(n-1)) at x, clamped to [0, 1].
+func markerCDF(heights, pos *[5]float64, n int64, x float64) float64 {
+	if x <= heights[0] {
+		return 0
+	}
+	if x >= heights[4] {
+		return 1
+	}
+	u := func(i int) float64 { return (pos[i] - 1) / float64(n-1) }
+	for i := 1; i < 5; i++ {
+		if x < heights[i] {
+			lo, hi := heights[i-1], heights[i]
+			if hi-lo <= 0 {
+				return u(i)
+			}
+			return u(i-1) + (x-lo)/(hi-lo)*(u(i)-u(i-1))
+		}
+	}
+	return 1
+}
+
+// invertPiecewise returns the leftmost x with F(x) >= target for the
+// nondecreasing piecewise-linear function through (xs[i], fs[i]).
+func invertPiecewise(xs, fs []float64, target float64) float64 {
+	if target <= fs[0] {
+		return xs[0]
+	}
+	for i := 1; i < len(fs); i++ {
+		if fs[i] >= target {
+			lo, hi := fs[i-1], fs[i]
+			if hi-lo <= 0 {
+				return xs[i]
+			}
+			return xs[i-1] + (target-lo)/(hi-lo)*(xs[i]-xs[i-1])
+		}
+	}
+	return xs[len(xs)-1]
+}
+
 // parabolic is the P² piecewise-parabolic prediction for marker i.
 func (q *Quantile) parabolic(i int, d float64) float64 {
 	return q.heights[i] + d/(q.pos[i+1]-q.pos[i-1])*

@@ -109,6 +109,224 @@ func TestQuantileBimodalAndConstants(t *testing.T) {
 	}
 }
 
+// sameQuantileState compares two estimators field by field (the struct
+// holds a slice, so == is unavailable).
+func sameQuantileState(a, b *Quantile) bool {
+	if a.p != b.p || a.n != b.n || a.heights != b.heights ||
+		a.pos != b.pos || a.want != b.want || a.grow != b.grow ||
+		len(a.initial) != len(b.initial) {
+		return false
+	}
+	for i := range a.initial {
+		if a.initial[i] != b.initial[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuantileMergeEmptyIdentity pins the exactness guarantees Merge makes
+// for degenerate shard counts: merging into an empty estimator is a
+// bit-identical copy (the one-shard engine path relies on this), and
+// merging an empty or nil estimator is a no-op.
+func TestQuantileMergeEmptyIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	full := MustQuantile(0.95)
+	for i := 0; i < 10000; i++ {
+		full.Add(rng.Float64() * 1000)
+	}
+	empty := MustQuantile(0.95)
+	empty.Merge(full)
+	if empty.n != full.n || empty.heights != full.heights ||
+		empty.pos != full.pos || empty.want != full.want {
+		t.Fatal("merge into empty estimator is not a verbatim copy")
+	}
+	before := *full
+	full.Merge(MustQuantile(0.95))
+	full.Merge(nil)
+	if !sameQuantileState(full, &before) {
+		t.Fatal("merging an empty or nil estimator changed the receiver")
+	}
+
+	// The copy must be deep: pre-init donors keep their buffered
+	// observations, and the copy's buffer must be independent.
+	small := MustQuantile(0.5)
+	small.Add(3)
+	small.Add(1)
+	dst := MustQuantile(0.5)
+	dst.Merge(small)
+	dst.Add(2)
+	if small.N() != 2 || small.Value() != 3 {
+		t.Fatal("merge mutated the pre-init donor")
+	}
+	if dst.N() != 3 || dst.Value() != 2 {
+		t.Fatalf("deep-copied estimator wrong: n=%d median=%v", dst.N(), dst.Value())
+	}
+}
+
+// TestQuantileMergePreInitExact: while a side is still buffering its
+// first five observations, Merge replays those raw values through Add, so
+// the result is exactly a sequential feed — in a.b order when the donor is
+// pre-init, in b.a order when the receiver is (the initialized state has
+// to come first; P² is order-sensitive past initialization).
+func TestQuantileMergePreInitExact(t *testing.T) {
+	cases := []struct{ a, b []float64 }{
+		{[]float64{5, 1, 9}, []float64{2, 7}},
+		{[]float64{4}, []float64{8, 3, 6, 1, 9, 2, 7}},
+		{[]float64{10, 20, 30, 40, 50, 60}, []float64{15, 25}},
+		{[]float64{3, 1, 4, 1}, []float64{5, 9, 2, 6, 5, 3, 5}},
+	}
+	for ci, c := range cases {
+		first, second := c.a, c.b
+		if len(c.a) < 5 && len(c.b) >= 5 {
+			first, second = c.b, c.a
+		}
+		seq := MustQuantile(0.5)
+		for _, x := range first {
+			seq.Add(x)
+		}
+		for _, x := range second {
+			seq.Add(x)
+		}
+		a, b := MustQuantile(0.5), MustQuantile(0.5)
+		for _, x := range c.a {
+			a.Add(x)
+		}
+		for _, x := range c.b {
+			b.Add(x)
+		}
+		a.Merge(b)
+		if !sameQuantileState(a, seq) {
+			t.Errorf("case %d: merged (n=%d, v=%v) differs from sequential replay (n=%d, v=%v)",
+				ci, a.n, a.Value(), seq.n, seq.Value())
+		}
+	}
+}
+
+// TestQuantileMergeUniform bounds the merged estimate against exact order
+// statistics with the same tolerance the single-estimator uniform test
+// uses: 1.2% of the range.
+func TestQuantileMergeUniform(t *testing.T) {
+	for _, shards := range []int{2, 4, 8} {
+		rng := rand.New(rand.NewSource(7))
+		for _, p := range []float64{0.5, 0.9, 0.95, 0.99} {
+			parts := make([]*Quantile, shards)
+			for i := range parts {
+				parts[i] = MustQuantile(p)
+			}
+			var xs []float64
+			for i := 0; i < 50000; i++ {
+				x := rng.Float64() * 1000
+				xs = append(xs, x)
+				parts[i%shards].Add(x)
+			}
+			merged := parts[0]
+			for _, part := range parts[1:] {
+				merged.Merge(part)
+			}
+			if merged.N() != 50000 {
+				t.Fatalf("shards=%d p=%v: merged N = %d", shards, p, merged.N())
+			}
+			want := exactQuantile(xs, p)
+			if got := merged.Value(); math.Abs(got-want) > 12 {
+				t.Errorf("shards=%d p=%v: merged estimate %v vs exact %v", shards, p, got, want)
+			}
+		}
+	}
+}
+
+// TestQuantileMergeNormal mirrors the single-estimator normal-tail test.
+func TestQuantileMergeNormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	parts := []*Quantile{MustQuantile(0.95), MustQuantile(0.95), MustQuantile(0.95), MustQuantile(0.95)}
+	var xs []float64
+	for i := 0; i < 80000; i++ {
+		x := rng.NormFloat64()*50 + 500
+		xs = append(xs, x)
+		parts[i%len(parts)].Add(x)
+	}
+	merged := parts[0]
+	for _, part := range parts[1:] {
+		merged.Merge(part)
+	}
+	want := exactQuantile(xs, 0.95)
+	if got := merged.Value(); math.Abs(got-want)/want > 0.02 {
+		t.Errorf("merged normal p95: %v vs %v", got, want)
+	}
+}
+
+// TestQuantileMergePure: Merge never mutates its argument, and the same
+// pair of states always merges to the same result — the properties the
+// sharded engine's determinism contract rests on.
+func TestQuantileMergePure(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	build := func(n int, seed int64) *Quantile {
+		r := rand.New(rand.NewSource(seed))
+		q := MustQuantile(0.9)
+		for i := 0; i < n; i++ {
+			q.Add(r.ExpFloat64() * 100)
+		}
+		return q
+	}
+	for trial := 0; trial < 20; trial++ {
+		na, nb := 5+rng.Intn(2000), 5+rng.Intn(2000)
+		a1, a2 := build(na, int64(trial)), build(na, int64(trial))
+		b := build(nb, int64(trial)+1000)
+		bBefore := *b
+		a1.Merge(b)
+		a2.Merge(b)
+		if !sameQuantileState(b, &bBefore) {
+			t.Fatal("Merge mutated its argument")
+		}
+		if !sameQuantileState(a1, a2) {
+			t.Fatal("identical merges produced different states")
+		}
+	}
+}
+
+// TestQuantileMergeThenAdd: a merged estimator must remain a valid P²
+// state that keeps tracking the quantile as observations continue.
+func TestQuantileMergeThenAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a, b := MustQuantile(0.9), MustQuantile(0.9)
+	var xs []float64
+	for i := 0; i < 10000; i++ {
+		x := rng.Float64() * 1000
+		xs = append(xs, x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	for i := 0; i < 40000; i++ {
+		x := rng.Float64() * 1000
+		xs = append(xs, x)
+		a.Add(x)
+	}
+	want := exactQuantile(xs, 0.9)
+	if got := a.Value(); math.Abs(got-want) > 12 {
+		t.Errorf("post-merge accumulation drifted: %v vs exact %v", got, want)
+	}
+	for i := 1; i < 5; i++ {
+		if a.pos[i] <= a.pos[i-1] {
+			t.Fatalf("marker positions not strictly increasing after merge+add: %v", a.pos)
+		}
+	}
+}
+
+func TestQuantileMergeMismatchedP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging estimators with different p did not panic")
+		}
+	}()
+	a, b := MustQuantile(0.9), MustQuantile(0.95)
+	b.Add(1)
+	a.Merge(b)
+}
+
 func TestQuantileMonotoneAcrossP(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	ps := []float64{0.1, 0.5, 0.9, 0.99}

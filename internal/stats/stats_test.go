@@ -124,6 +124,99 @@ func TestQuickMergeAssociativity(t *testing.T) {
 	}
 }
 
+// Property: Merge is order-invariant — folding A into B and B into A give
+// the same moments — and propagates min/max exactly.
+func TestQuickMergeOrderInvariance(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		clean := func(vs []float64) []float64 {
+			out := vs[:0:0]
+			for _, v := range vs {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					continue
+				}
+				out = append(out, math.Mod(v, 1e6))
+			}
+			return out
+		}
+		as, bs := clean(xs), clean(ys)
+		var ab, ba Sample
+		for _, x := range as {
+			ab.Add(x)
+		}
+		for _, y := range bs {
+			ba.Add(y)
+		}
+		a, b := ab, ba
+		ab.Merge(&b)
+		ba.Merge(&a)
+		if ab.N() != ba.N() {
+			return false
+		}
+		if ab.N() == 0 {
+			return true
+		}
+		if ab.Min() != ba.Min() || ab.Max() != ba.Max() {
+			return false
+		}
+		return almost(ab.Mean(), ba.Mean(), 1e-6*(1+math.Abs(ab.Mean()))) &&
+			almost(ab.Variance(), ba.Variance(), 1e-5*(1+ab.Variance()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any parenthesisation of a three-way split merges to the same
+// moments as sequential accumulation, and min/max survive every path.
+func TestQuickMergeThreeWayAssociativity(t *testing.T) {
+	f := func(xs []float64, c1, c2 uint8) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			clean = append(clean, math.Mod(x, 1e6))
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		i := int(c1) % len(clean)
+		j := i + int(c2)%(len(clean)-i+1)
+		fill := func(vs []float64) Sample {
+			var s Sample
+			for _, v := range vs {
+				s.Add(v)
+			}
+			return s
+		}
+		var whole Sample
+		for _, x := range clean {
+			whole.Add(x)
+		}
+		// (a ∪ b) ∪ c
+		left, b1, c1s := fill(clean[:i]), fill(clean[i:j]), fill(clean[j:])
+		left.Merge(&b1)
+		left.Merge(&c1s)
+		// a ∪ (b ∪ c)
+		a2, right, c2s := fill(clean[:i]), fill(clean[i:j]), fill(clean[j:])
+		right.Merge(&c2s)
+		a2.Merge(&right)
+		for _, m := range []*Sample{&left, &a2} {
+			if m.N() != whole.N() || m.Min() != whole.Min() || m.Max() != whole.Max() {
+				return false
+			}
+			if !almost(m.Mean(), whole.Mean(), 1e-6*(1+math.Abs(whole.Mean()))) ||
+				!almost(m.Variance(), whole.Variance(), 1e-5*(1+whole.Variance())) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Published two-sided critical values for Student's t.
 func TestTQuantileAgainstTables(t *testing.T) {
 	cases := []struct {
