@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test test-race bench experiments experiments-fast examples clean
+.PHONY: all build vet lint test test-race bench experiments experiments-fast faults-sweep examples clean
 
 all: build vet lint test
 
@@ -30,6 +30,11 @@ experiments:
 
 experiments-fast:
 	$(GO) run ./cmd/airbench -fast all
+
+# Unreliable-channel degradation sweep: error rate 0-10% over all schemes
+# (results/faults-at.csv, faults-tt.csv, faults-recovery.csv).
+faults-sweep:
+	$(GO) run ./cmd/airbench -csv results faults
 
 examples:
 	$(GO) run ./examples/quickstart

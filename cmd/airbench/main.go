@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"github.com/airindex/airindex/internal/experiments"
+	"github.com/airindex/airindex/internal/faults"
 )
 
 func main() {
@@ -39,6 +40,10 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 0, "seed override (0 = default)")
 	shards := fs.Int("shards", 0, "shards per simulation run; results depend on (seed, shards) only (0 = sequential)")
 	quiet := fs.Bool("quiet", false, "suppress per-point progress lines")
+	faultModel := fs.String("fault-model", "none", "apply an unreliable-channel error model to every point: none, iid, ge, drop")
+	faultRate := fs.Float64("fault-rate", 0, "headline error rate for -fault-model [0,1): per-bucket loss (drop), per-bit BER (iid), bad-state corruption rate (ge)")
+	faultRetries := fs.Int("fault-retries", 0, "corrupted reads tolerated per request (0 = unbounded)")
+	faultRecovery := fs.String("fault-recovery", "restart", "re-tune policy after a corrupted read: restart, cycle")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,6 +53,20 @@ func run(args []string, out io.Writer) error {
 	}
 
 	opt := experiments.Options{Fast: *fast, Seed: *seed, Shards: *shards}
+	model, err := faults.ParseModel(*faultModel)
+	if err != nil {
+		return err
+	}
+	recovery, err := faults.ParseRecovery(*faultRecovery)
+	if err != nil {
+		return err
+	}
+	opt.Faults = faults.FromRate(model, *faultRate)
+	opt.Faults.Recovery = recovery
+	opt.Faults.MaxRetries = *faultRetries
+	if err := opt.Faults.Validate(); err != nil {
+		return err
+	}
 	if !*quiet {
 		opt.Progress = func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "  "+format+"\n", a...)

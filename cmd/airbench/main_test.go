@@ -48,6 +48,47 @@ func TestRunShardsDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunZeroRateFaultsIdenticalOutput is the CLI-level differential
+// check mirrored by CI: a zero-rate fault model must not change a single
+// output byte of an existing figure.
+func TestRunZeroRateFaultsIdenticalOutput(t *testing.T) {
+	var base, zero bytes.Buffer
+	if err := run([]string{"-fast", "-quiet", "fig4a"}, &base); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fast", "-quiet", "-fault-model", "drop", "-fault-rate", "0", "fig4a"}, &zero); err != nil {
+		t.Fatal(err)
+	}
+	if base.String() != zero.String() {
+		t.Fatalf("zero-rate faults changed fig4a output:\n%s\nvs\n%s", base.String(), zero.String())
+	}
+}
+
+// TestRunFaultsExperiment: the faults family runs end to end from the CLI
+// and its aliases resolve.
+func TestRunFaultsExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fast", "-quiet", "faults-at"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Access time vs. bucket error rate") {
+		t.Fatalf("faults-at alias did not produce the access table:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "Recovery cost") {
+		t.Fatalf("faults-at alias leaked the recovery table:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFaultFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fast", "-fault-model", "bogus", "table1"}, &out); err == nil {
+		t.Fatal("unknown fault model accepted")
+	}
+	if err := run([]string{"-fast", "-fault-rate", "1.5", "-fault-model", "drop", "table1"}, &out); err == nil {
+		t.Fatal("out-of-range fault rate accepted")
+	}
+}
+
 func TestRunRequiresExperiments(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-fast"}, &out); err == nil {

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"github.com/airindex/airindex/internal/core"
+	"github.com/airindex/airindex/internal/faults"
 )
 
 func main() {
@@ -43,7 +44,11 @@ func run(args []string, out io.Writer) error {
 	minReq := fs.Int("min-requests", 5000, "minimum requests before stopping")
 	round := fs.Int("round", 500, "requests per accuracy-control round")
 	maxReq := fs.Int("max-requests", 100000, "request cap")
-	ber := fs.Float64("ber", 0, "bucket corruption probability [0,1)")
+	ber := fs.Float64("ber", 0, "bucket corruption probability [0,1); legacy layer, prefer -fault-model")
+	faultModel := fs.String("fault-model", "none", "unreliable-channel error model: none, iid, ge, drop")
+	faultRate := fs.Float64("fault-rate", 0, "headline error rate for -fault-model [0,1): per-bucket loss (drop), per-bit BER (iid), bad-state corruption rate (ge)")
+	faultRetries := fs.Int("fault-retries", 0, "corrupted reads tolerated per request (0 = unbounded)")
+	faultRecovery := fs.String("fault-recovery", "restart", "re-tune policy after a corrupted read: restart, cycle")
 	m := fs.Int("m", 0, "(1,m) indexing: tree copies per cycle (0 = optimal)")
 	r := fs.Int("r", -1, "distributed indexing: replicated levels (-1 = optimal)")
 	load := fs.Float64("load", 3, "hashing: target records per hash position")
@@ -64,6 +69,17 @@ func run(args []string, out io.Writer) error {
 	cfg.RoundSize = *round
 	cfg.MaxRequests = *maxReq
 	cfg.BitErrorRate = *ber
+	model, err := faults.ParseModel(*faultModel)
+	if err != nil {
+		return err
+	}
+	recovery, err := faults.ParseRecovery(*faultRecovery)
+	if err != nil {
+		return err
+	}
+	cfg.Faults = faults.FromRate(model, *faultRate)
+	cfg.Faults.Recovery = recovery
+	cfg.Faults.MaxRetries = *faultRetries
 	cfg.Onem.M = *m
 	cfg.Dist.R = *r
 	cfg.Hashing.LoadFactor = *load
@@ -98,6 +114,13 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "bucket probes     %.2f per request\n", res.Probes.Mean())
 	if res.Restarts > 0 {
 		fmt.Fprintf(out, "error restarts    %d (%.3f per request)\n", res.Restarts, float64(res.Restarts)/float64(res.Requests))
+	}
+	if cfg.Faults.Enabled() {
+		fmt.Fprintf(out, "faults            model=%s rate=%g recovery=%s retries=%d\n",
+			cfg.Faults.Model, cfg.Faults.Rate(), cfg.Faults.Recovery, cfg.Faults.MaxRetries)
+		fmt.Fprintf(out, "wasted tuning     %d bytes (%.1f per request)\n",
+			res.WastedBytes, float64(res.WastedBytes)/float64(res.Requests))
+		fmt.Fprintf(out, "unrecovered       %d requests\n", res.Unrecovered)
 	}
 	return nil
 }

@@ -36,6 +36,40 @@ func TestRunWithErrorInjection(t *testing.T) {
 	}
 }
 
+// TestRunWithFaultFlags: the -fault-* flags reach the faults layer and
+// the run reports the recovery counters.
+func TestRunWithFaultFlags(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-scheme", "distributed", "-records", "200",
+		"-fault-model", "drop", "-fault-rate", "0.1", "-fault-retries", "3", "-fault-recovery", "cycle",
+		"-min-requests", "200", "-max-requests", "400", "-accuracy", "0.2", "-round", "100",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"error restarts", "model=drop", "recovery=cycle", "wasted tuning", "unrecovered"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("faulty run output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunRejectsBadFaultFlags: unknown model and recovery names, and
+// mixing the legacy -ber layer with -fault-model, are refused.
+func TestRunRejectsBadFaultFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fault-model", "bogus", "-records", "100"}, &out); err == nil {
+		t.Fatal("unknown fault model accepted")
+	}
+	if err := run([]string{"-fault-model", "drop", "-fault-rate", "0.1", "-fault-recovery", "bogus", "-records", "100"}, &out); err == nil {
+		t.Fatal("unknown recovery policy accepted")
+	}
+	if err := run([]string{"-fault-model", "drop", "-fault-rate", "0.1", "-ber", "0.1", "-records", "100"}, &out); err == nil {
+		t.Fatal("legacy -ber combined with -fault-model accepted")
+	}
+}
+
 // TestRunShardsFlag: -shards reaches the engine and the run reports the
 // same request accounting as a sequential run.
 func TestRunShardsFlag(t *testing.T) {

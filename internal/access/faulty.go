@@ -11,8 +11,16 @@ import (
 // FaultyResult extends Result with error-recovery accounting.
 type FaultyResult struct {
 	Result
-	// Restarts counts protocol restarts forced by corrupted buckets.
+	// Restarts counts protocol restarts forced by corrupted buckets (the
+	// request's retry count).
 	Restarts int
+	// Wasted is the tuning spent on reads that turned out corrupted: bytes
+	// the receiver listened to and then had to discard.
+	Wasted units.ByteCount
+	// Unrecovered reports that the request was abandoned after exhausting
+	// its retry budget — an unrecoverable miss, distinct from a clean
+	// not-found outcome.
+	Unrecovered bool
 }
 
 // WalkFaulty is Walk on an error-prone channel (the extension motivated by
@@ -41,6 +49,7 @@ func WalkFaulty(ch *channel.Channel, newClient func() Client, arrival sim.Time, 
 			// Corrupted: the read is wasted; restart the protocol at the
 			// next complete bucket.
 			res.Restarts++
+			res.Wasted += ch.SizeOf(idx)
 			c = newClient()
 			idx, start = ch.NextBucketAt(end)
 			continue

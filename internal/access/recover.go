@@ -1,0 +1,111 @@
+package access
+
+import (
+	"fmt"
+
+	"github.com/airindex/airindex/internal/channel"
+	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
+)
+
+// Corrupter is the unreliable-channel decision process: it reports whether
+// the probe-th bucket read of the current request (of the given encoded
+// size) reached the receiver unusable. internal/faults.Injector implements
+// it from the dedicated splitmix(seed, shard, "faults") substream; the
+// interface lives here so the access layer stays independent of the fault
+// models.
+type Corrupter interface {
+	Corrupt(probe int, size units.ByteCount) bool
+}
+
+// RecoverPolicy is the client-side retry policy applied when a read fails
+// its integrity check (wire.ErrChecksum on real bytes; the Corrupter's
+// verdict in simulation). The same policy serves every scheme: a protocol
+// state machine cannot trust anything derived from a corrupted bucket, so
+// recovery discards the per-query state and re-tunes — either immediately
+// at the next complete bucket (the protocol re-acquires its next index
+// segment from the offsets every scheme broadcasts) or, doze-aware, at the
+// next cycle start.
+type RecoverPolicy struct {
+	// NextCycle re-tunes at the next broadcast-cycle start instead of the
+	// next bucket; the wait is spent dozing, so it trades access time for
+	// tuning time.
+	NextCycle bool
+	// MaxRetries bounds corrupted reads tolerated per request; past the
+	// bound the request is abandoned as an unrecoverable miss. 0 means
+	// unbounded — note that a serial scheme (flat, signature) can only
+	// conclude a key is absent after a full clean pass of the cycle, so at
+	// high error rates an unbounded search for a missing key may never
+	// terminate (WalkRecover then fails on its step budget); bound the
+	// retries when data availability is below 100%.
+	MaxRetries int
+}
+
+// WalkRecover executes one query over an unreliable channel: Walk's
+// mechanics plus the corruption process and the retry policy. Every read
+// — clean or corrupted — pays its byte cost in tuning time (the receiver
+// listened either way); a corrupted read additionally counts into Restarts
+// and Wasted, and the protocol restarts from a fresh client at the
+// position the policy selects. newClient must return a fresh protocol
+// state machine per restart. inj may be nil for a perfect channel, in
+// which case WalkRecover behaves exactly like Walk.
+func WalkRecover(ch *channel.Channel, newClient func() Client, arrival sim.Time, inj Corrupter, pol RecoverPolicy, maxSteps int) (FaultyResult, error) {
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	var res FaultyResult
+	c := newClient()
+	idx, start := ch.NextBucketAt(arrival)
+	for step := 0; step < maxSteps; step++ {
+		end := ch.EndGiven(idx, start)
+		size := ch.SizeOf(idx)
+		probe := res.Probes // 0-based read index within this request
+		res.Tuning += size
+		res.Probes++
+		if inj != nil && inj.Corrupt(probe, size) {
+			res.Restarts++
+			res.Wasted += size
+			if pol.MaxRetries > 0 && res.Restarts > pol.MaxRetries {
+				// Retry budget exhausted: abandon the request. The time
+				// already spent still counts — the user waited for it.
+				res.Access = units.Elapsed(arrival, end)
+				res.Found = false
+				res.Unrecovered = true
+				return res, nil
+			}
+			c = newClient()
+			if pol.NextCycle {
+				// Doze (no tuning cost) until the cycle restarts.
+				idx, start = ch.NextBucketAt(ch.NextCycleStart(end))
+			} else {
+				idx, start = ch.NextBucketAt(end)
+			}
+			continue
+		}
+		s := c.OnBucket(idx, end)
+		switch s.Kind {
+		case StepNext:
+			idx = idx.Next(ch.NumBuckets())
+			start = end
+		case StepDoze:
+			if s.At < end {
+				return res, fmt.Errorf("access: client dozed into the past: %d < %d", s.At, end)
+			}
+			if s.Hint.InCycle(ch.NumBuckets()) && units.CycleOffset(s.At, ch.CycleLen()) == ch.StartInCycle(s.Hint) {
+				idx, start = s.Hint, s.At
+			} else {
+				idx, start = ch.NextBucketAt(s.At)
+			}
+		case StepDone:
+			res.Access = units.Elapsed(arrival, end)
+			res.Found = s.Found
+			return res, nil
+		default:
+			return res, fmt.Errorf("access: invalid step kind %d", s.Kind)
+		}
+	}
+	if pol.MaxRetries <= 0 {
+		return res, fmt.Errorf("access: recovering query exceeded %d steps without terminating (unbounded retries; bound RecoverPolicy.MaxRetries — at this error rate the scheme cannot complete a clean pass)", maxSteps)
+	}
+	return res, fmt.Errorf("access: recovering query exceeded %d steps without terminating", maxSteps)
+}

@@ -1,0 +1,153 @@
+package access
+
+import (
+	"testing"
+
+	"github.com/airindex/airindex/internal/units"
+)
+
+// scriptCorrupter corrupts the reads whose global sequence numbers (across
+// the whole walk) are listed.
+type scriptCorrupter struct {
+	corrupt map[int]bool
+	calls   int
+}
+
+func (c *scriptCorrupter) Corrupt(probe int, size units.ByteCount) bool {
+	c.calls++
+	return c.corrupt[probe]
+}
+
+func TestWalkRecoverNilInjectorMatchesWalk(t *testing.T) {
+	ch := testChannel(t, 10, 20, 30)
+	mk := func() func() Client {
+		return func() Client { return &scriptClient{steps: []Step{Next(), Next(), Done(true)}} }
+	}
+	plain, err := Walk(ch, &scriptClient{steps: []Step{Next(), Next(), Done(true)}}, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := WalkRecover(ch, mk(), 3, nil, RecoverPolicy{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Result != plain {
+		t.Fatalf("nil-injector WalkRecover = %+v, Walk = %+v", rec.Result, plain)
+	}
+	if rec.Restarts != 0 || rec.Wasted != 0 || rec.Unrecovered {
+		t.Fatalf("clean walk reported recovery accounting: %+v", rec)
+	}
+}
+
+func TestWalkRecoverRestartsAtNextBucket(t *testing.T) {
+	// Three 10-byte buckets. First read (bucket 0, probe 0) is corrupted;
+	// the restarted client reads bucket 1 and finishes.
+	ch := testChannel(t, 10, 10, 10)
+	clients := 0
+	newClient := func() Client {
+		clients++
+		return &scriptClient{steps: []Step{Done(true)}}
+	}
+	inj := &scriptCorrupter{corrupt: map[int]bool{0: true}}
+	res, err := WalkRecover(ch, newClient, 0, inj, RecoverPolicy{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clients != 2 {
+		t.Fatalf("expected a fresh client after the corrupted read, built %d", clients)
+	}
+	if res.Restarts != 1 || res.Wasted != 10 {
+		t.Fatalf("Restarts=%d Wasted=%d, want 1/10", res.Restarts, res.Wasted)
+	}
+	// Probe 0: bucket 0 (corrupt, ends at 10). Probe 1: bucket 1 ends at 20.
+	if res.Access != 20 || res.Tuning != 20 || res.Probes != 2 {
+		t.Fatalf("Access=%d Tuning=%d Probes=%d, want 20/20/2", res.Access, res.Tuning, res.Probes)
+	}
+	if !res.Found || res.Unrecovered {
+		t.Fatalf("Found=%v Unrecovered=%v", res.Found, res.Unrecovered)
+	}
+}
+
+func TestWalkRecoverNextCycleDozes(t *testing.T) {
+	// Cycle of 10+20 bytes. Corrupt the first read; the next-cycle policy
+	// dozes to t=30 (cycle start) and reads bucket 0 again. Tuning charges
+	// only the two reads; the 20-byte wait is dozed.
+	ch := testChannel(t, 10, 20)
+	inj := &scriptCorrupter{corrupt: map[int]bool{0: true}}
+	res, err := WalkRecover(ch, func() Client {
+		return &scriptClient{steps: []Step{Done(true)}}
+	}, 0, inj, RecoverPolicy{NextCycle: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Access != 40 { // corrupted read ends 10, doze to 30, read bucket 0 ends 40
+		t.Fatalf("Access = %d, want 40", res.Access)
+	}
+	if res.Tuning != 20 { // 10 wasted + 10 clean; the doze is free
+		t.Fatalf("Tuning = %d, want 20", res.Tuning)
+	}
+	if res.Restarts != 1 || res.Wasted != 10 {
+		t.Fatalf("Restarts=%d Wasted=%d", res.Restarts, res.Wasted)
+	}
+}
+
+func TestWalkRecoverBoundedRetries(t *testing.T) {
+	ch := testChannel(t, 10, 10)
+	everything := &scriptCorrupter{corrupt: map[int]bool{}}
+	for i := 0; i < 100; i++ {
+		everything.corrupt[i] = true
+	}
+	res, err := WalkRecover(ch, func() Client {
+		return &scriptClient{steps: []Step{Done(true)}}
+	}, 0, everything, RecoverPolicy{MaxRetries: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unrecovered || res.Found {
+		t.Fatalf("fully corrupted channel should be unrecoverable: %+v", res)
+	}
+	if res.Restarts != 4 { // the 4th corrupted read breaches MaxRetries=3
+		t.Fatalf("Restarts = %d, want 4", res.Restarts)
+	}
+	if res.Probes != 4 || res.Tuning != 40 || res.Wasted != 40 {
+		t.Fatalf("Probes=%d Tuning=%d Wasted=%d, want 4/40/40", res.Probes, res.Tuning, res.Wasted)
+	}
+	if res.Access != 40 { // abandoned at the end of the 4th read
+		t.Fatalf("Access = %d, want 40", res.Access)
+	}
+}
+
+func TestWalkRecoverUnboundedEventuallyFinishes(t *testing.T) {
+	ch := testChannel(t, 10, 10)
+	// Corrupt the first 50 reads; an unbounded policy must grind through
+	// and still succeed.
+	inj := &scriptCorrupter{corrupt: map[int]bool{}}
+	for i := 0; i < 50; i++ {
+		inj.corrupt[i] = true
+	}
+	res, err := WalkRecover(ch, func() Client {
+		return &scriptClient{steps: []Step{Done(true)}}
+	}, 0, inj, RecoverPolicy{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Unrecovered || res.Restarts != 50 {
+		t.Fatalf("unbounded recovery: %+v", res)
+	}
+}
+
+func TestWalkRecoverStepBudget(t *testing.T) {
+	ch := testChannel(t, 10)
+	// Every read corrupted, unbounded retries: the step budget must stop
+	// the walk with an error instead of spinning forever.
+	_, err := WalkRecover(ch, func() Client {
+		return &scriptClient{steps: []Step{Done(true)}}
+	}, 0, alwaysCorrupt{}, RecoverPolicy{}, 100)
+	if err == nil {
+		t.Fatal("expected step-budget error on a fully corrupted channel")
+	}
+}
+
+type alwaysCorrupt struct{}
+
+func (alwaysCorrupt) Corrupt(int, units.ByteCount) bool { return true }

@@ -1,0 +1,135 @@
+package airborne
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/airindex/airindex/internal/access"
+	"github.com/airindex/airindex/internal/faults"
+	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
+	"github.com/airindex/airindex/internal/wire"
+)
+
+// TestRecoveryDifferentialAgainstMetadataClients drives the metadata and
+// byte-driven client families through access.WalkRecover under identical
+// fault streams. The injector is a pure function of (cfg, seed, shard),
+// so two injectors replay the same corruption pattern; for the schemes
+// whose two client families are step-identical the full FaultyResult
+// accounting must match probe for probe, restart for restart.
+func TestRecoveryDifferentialAgainstMetadataClients(t *testing.T) {
+	fcfg := faults.FromRate(faults.ModelDrop, 0.08)
+	for _, scheme := range paperSchemes {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			h := newHarness(t, scheme, 400)
+			rng := sim.NewRNG(31)
+			cycle := int64(h.bc.Channel().CycleLen())
+			injMeta := faults.New(fcfg, 7, 0)
+			injAero := faults.New(fcfg, 7, 0)
+			// Bounded retries: a serial scheme can only conclude a key is
+			// absent after a full clean pass of the cycle, which an 8%
+			// per-bucket drop rate essentially never grants — exactly the
+			// situation MaxRetries exists for.
+			pol := access.RecoverPolicy{MaxRetries: 6}
+			var restarts int
+			const n = 250
+			for q := 0; q < n; q++ {
+				var key uint64
+				if q%5 == 4 {
+					key = h.ds.MissingKeyNear(rng.Intn(h.ds.Len()))
+				} else {
+					key = h.ds.KeyAt(rng.Intn(h.ds.Len()))
+				}
+				arrival := sim.Time(rng.Int63n(2 * cycle))
+				injMeta.StartRequest()
+				meta, err := access.WalkRecover(h.bc.Channel(),
+					func() access.Client { return h.bc.NewClient(key) },
+					arrival, injMeta, pol, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				injAero.StartRequest()
+				aero, err := access.WalkRecover(h.bc.Channel(),
+					func() access.Client {
+						cl, cerr := NewClient(scheme, h.bytes, h.c, key)
+						if cerr != nil {
+							t.Fatal(cerr)
+						}
+						return cl
+					},
+					arrival, injAero, pol, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !meta.Unrecovered && !aero.Unrecovered && meta.Found != aero.Found {
+					t.Fatalf("key %d arrival %d: found %v (metadata) vs %v (airborne)",
+						key, arrival, meta.Found, aero.Found)
+				}
+				restarts += meta.Restarts
+				switch scheme {
+				case "flat", "signature", "hashing":
+					// Step-identical protocols see identical fault streams,
+					// so every counter matches.
+					if meta != aero {
+						t.Fatalf("key %d arrival %d: metadata %+v != airborne %+v", key, arrival, meta, aero)
+					}
+				default:
+					// Tree schemes may steer differently after a restart, but
+					// both must terminate within a bounded number of cycles.
+					if aero.Access > units.Bytes64(6*cycle) || meta.Access > units.Bytes64(6*cycle) {
+						t.Fatalf("access out of bounds: meta %+v aero %+v", meta, aero)
+					}
+				}
+			}
+			if restarts == 0 {
+				t.Fatalf("8%% drop rate over %d queries injected no faults", n)
+			}
+		})
+	}
+}
+
+// TestCRCDetectsInjectedCorruption closes the loop between the fault model
+// and the wire layer: sealed frames mangled at the injector's corrupt
+// coordinates fail wire.Verify with ErrChecksum, while untouched frames
+// verify and decode to the original bucket bytes.
+func TestCRCDetectsInjectedCorruption(t *testing.T) {
+	h := newHarness(t, "distributed", 200)
+	inj := faults.New(faults.FromRate(faults.ModelDrop, 0.2), 11, 0)
+	inj.StartRequest()
+	var corrupted, clean int
+	for i := units.BucketIndex(0); i < units.BucketIndex(h.bytes.NumBuckets()); i++ {
+		probe := int(i)
+		payload := h.bytes.Of(i)
+		sealed := wire.Seal(payload)
+		if inj.Corrupt(probe, units.ByteCount(len(payload))) {
+			corrupted++
+			mangled := inj.MangleCopy(probe, sealed)
+			if _, err := wire.Verify(mangled); !errors.Is(err, wire.ErrChecksum) {
+				t.Fatalf("bucket %d: mangled frame passed verification (err %v)", i, err)
+			}
+			if _, err := wire.NewVerified(mangled); err == nil {
+				t.Fatalf("bucket %d: NewVerified accepted a mangled frame", i)
+			}
+			continue
+		}
+		clean++
+		got, err := wire.Verify(sealed)
+		if err != nil {
+			t.Fatalf("bucket %d: clean frame rejected: %v", i, err)
+		}
+		if string(got) != string(payload) {
+			t.Fatalf("bucket %d: verified payload differs from the original", i)
+		}
+		r, err := wire.NewVerified(sealed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hdr := r.Header(); hdr != header(payload) {
+			t.Fatalf("bucket %d: verified reader decoded header %+v, want %+v", i, hdr, header(payload))
+		}
+	}
+	if corrupted == 0 || clean == 0 {
+		t.Fatalf("sweep not exercising both paths: %d corrupted, %d clean", corrupted, clean)
+	}
+}

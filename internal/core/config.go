@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"github.com/airindex/airindex/internal/datagen"
+	"github.com/airindex/airindex/internal/faults"
 	"github.com/airindex/airindex/internal/schemes/bdisk"
 	"github.com/airindex/airindex/internal/schemes/dist"
 	"github.com/airindex/airindex/internal/schemes/hashing"
@@ -68,8 +69,20 @@ type Config struct {
 	Shards int
 
 	// BitErrorRate corrupts each bucket read independently with this
-	// probability (error-prone channel extension; 0 disables).
+	// probability (error-prone channel extension; 0 disables). It draws
+	// from the arrival RNG stream and predates the faults layer below;
+	// prefer Faults, which keeps the arrival process untouched. The two
+	// are mutually exclusive.
 	BitErrorRate float64
+
+	// Faults configures the deterministic unreliable-channel layer: the
+	// error model applied to every bucket read and the client's recovery
+	// policy. Each shard draws its fault process from the dedicated RNG
+	// substream splitmix(Seed, shard, "faults"), so a faulty run's Result
+	// is a pure function of (Seed, Shards, Faults) and a zero-rate model
+	// reproduces the perfect-channel output byte for byte. The zero value
+	// disables injection.
+	Faults faults.Config
 
 	// ZipfS skews request popularity over the records' popularity ranks
 	// (record index 0 hottest) with a Zipf exponent s > 1; 0 keeps the
@@ -150,6 +163,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: shards %d exceeds max requests %d; every shard needs at least one request of budget", c.Shards, c.MaxRequests)
 	case c.DozePowerRatio < 0 || c.DozePowerRatio > 1:
 		return fmt.Errorf("core: doze power ratio %v outside [0,1]", c.DozePowerRatio)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if c.Faults.Enabled() && c.BitErrorRate > 0 {
+		return fmt.Errorf("core: Faults and the legacy BitErrorRate are mutually exclusive; pick one error layer")
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"github.com/airindex/airindex/internal/faults"
 	"github.com/airindex/airindex/internal/sim"
 	"github.com/airindex/airindex/internal/stats"
 )
@@ -35,12 +36,15 @@ import (
 type shardRunner struct {
 	idx    int
 	rng    *sim.RNG
-	zipf   func() int // nil for the uniform workload
+	zipf   func() int       // nil for the uniform workload
+	inj    *faults.Injector // shard's fault substream; nil on a perfect channel
 	eng    *sim.Simulator
 	budget int64 // request cap; shard budgets sum to MaxRequests
 
 	requests, found, notFound int64
 	restarts                  int64
+	wasted                    int64
+	unrecovered               int64
 	rounds                    int
 	inRound                   int
 	done                      bool  // budget exhausted; queue drained
@@ -64,6 +68,7 @@ func (s *Simulator) newShardRunner(i, n int) *shardRunner {
 	sh := &shardRunner{
 		idx:       i,
 		rng:       rng,
+		inj:       s.newInjector(i),
 		eng:       sim.New(),
 		budget:    int64(s.cfg.MaxRequests / n),
 		accessP95: stats.MustQuantile(0.95),
@@ -91,7 +96,7 @@ func (s *Simulator) shardArrival(sh *shardRunner) func(*sim.Simulator) {
 	var arrive func(*sim.Simulator)
 	arrive = func(eng *sim.Simulator) {
 		key := s.pickKey(sh.rng, sh.zipf)
-		r, err := s.runRequest(sh.rng, key, eng.Now())
+		r, err := s.runRequest(sh.rng, sh.inj, key, eng.Now())
 		if err != nil {
 			sh.walkErr = err
 			eng.Stop()
@@ -108,6 +113,10 @@ func (s *Simulator) shardArrival(sh *shardRunner) func(*sim.Simulator) {
 		sh.energy.Add(float64(r.Tuning) + s.cfg.DozePowerRatio*float64(r.Access-r.Tuning))
 		sh.probes.Add(float64(r.Probes))
 		sh.restarts += int64(r.Restarts)
+		sh.wasted += int64(r.Wasted)
+		if r.Unrecovered {
+			sh.unrecovered++
+		}
 		sh.accessP95.Add(float64(r.Access))
 		sh.accessP99.Add(float64(r.Access))
 		sh.tuningP95.Add(float64(r.Tuning))
@@ -219,6 +228,8 @@ func (s *Simulator) mergeShards(shards []*shardRunner) *Result {
 		res.Found += sh.found
 		res.NotFound += sh.notFound
 		res.Restarts += sh.restarts
+		res.WastedBytes += sh.wasted
+		res.Unrecovered += sh.unrecovered
 		res.Rounds += sh.rounds
 		res.Events += sh.eng.Processed
 		res.Access.Merge(&sh.access)

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+
+	"github.com/airindex/airindex/internal/faults"
 )
 
 // runSharded drives a fresh simulator's sharded engine for cfg directly,
@@ -34,6 +36,12 @@ func TestOneShardMatchesSequential(t *testing.T) {
 		"faulty":       func(c *Config) { c.BitErrorRate = 0.1 },
 		"zipf":         func(c *Config) { c.ZipfS = 1.3 },
 		"partialavail": func(c *Config) { c.Availability = 0.7 },
+		"faults-drop":  func(c *Config) { c.Faults = faults.FromRate(faults.ModelDrop, 0.05) },
+		"faults-ge": func(c *Config) {
+			c.Faults = faults.FromRate(faults.ModelGilbertElliott, 0.4)
+			c.Faults.Recovery = faults.RecoverNextCycle
+			c.Faults.MaxRetries = 4
+		},
 	}
 	for name, mutate := range cases {
 		t.Run(name, func(t *testing.T) {

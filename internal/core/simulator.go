@@ -5,6 +5,7 @@ import (
 
 	"github.com/airindex/airindex/internal/access"
 	"github.com/airindex/airindex/internal/datagen"
+	"github.com/airindex/airindex/internal/faults"
 	"github.com/airindex/airindex/internal/sim"
 	"github.com/airindex/airindex/internal/stats"
 	"github.com/airindex/airindex/internal/units"
@@ -31,8 +32,15 @@ type Result struct {
 	// Converged reports whether the AccuracyController's stopping rule was
 	// met (rather than the request cap).
 	Converged bool
-	// Restarts counts protocol restarts caused by injected bucket errors.
+	// Restarts counts protocol restarts caused by injected bucket errors
+	// (each restart is one retry of the access protocol).
 	Restarts int64
+	// WastedBytes is the tuning spent on reads that turned out corrupted,
+	// summed over all requests.
+	WastedBytes int64
+	// Unrecovered counts requests abandoned after exhausting the faults
+	// retry budget — unrecoverable misses, a subset of NotFound.
+	Unrecovered int64
 	// AccessP95 and AccessP99 are online P2 estimates of the access-time
 	// tail, in bytes; TuningP95/TuningP99 likewise for tuning time.
 	AccessP95, AccessP99 float64
@@ -120,6 +128,29 @@ func (s *Simulator) Run() (*Result, error) {
 	return s.runSequential()
 }
 
+// newInjector returns the fault injector for one shard's substream, or
+// nil when fault injection is disabled. The sequential path is shard 0,
+// matching the one-shard engine so the two stay byte-identical.
+func (s *Simulator) newInjector(shard int) *faults.Injector {
+	if !s.cfg.Faults.Enabled() {
+		return nil
+	}
+	return faults.New(s.cfg.Faults, s.cfg.Seed, shard)
+}
+
+// recoverPolicy maps the faults configuration onto the access layer's
+// retry policy.
+func (s *Simulator) recoverPolicy() access.RecoverPolicy {
+	pol := access.RecoverPolicy{MaxRetries: s.cfg.Faults.MaxRetries}
+	switch s.cfg.Faults.Recovery {
+	case faults.RecoverRestart:
+	case faults.RecoverNextCycle:
+		pol.NextCycle = true
+	default:
+	}
+	return pol
+}
+
 // runSequential is the single-stream path: one event loop, one RNG, the
 // stopping rule applied inline at each round boundary.
 func (s *Simulator) runSequential() (*Result, error) {
@@ -135,11 +166,12 @@ func (s *Simulator) runSequential() (*Result, error) {
 	tuningP99 := stats.MustQuantile(0.99)
 	var walkErr error
 	inRound := 0
+	inj := s.newInjector(0)
 
 	var arrive func(*sim.Simulator)
 	arrive = func(eng *sim.Simulator) {
 		key := s.pickKey(s.rng, s.zipf)
-		r, err := s.runRequest(s.rng, key, eng.Now())
+		r, err := s.runRequest(s.rng, inj, key, eng.Now())
 		if err != nil {
 			walkErr = err
 			eng.Stop()
@@ -156,6 +188,10 @@ func (s *Simulator) runSequential() (*Result, error) {
 		res.Energy.Add(float64(r.Tuning) + s.cfg.DozePowerRatio*float64(r.Access-r.Tuning))
 		res.Probes.Add(float64(r.Probes))
 		res.Restarts += int64(r.Restarts)
+		res.WastedBytes += int64(r.Wasted)
+		if r.Unrecovered {
+			res.Unrecovered++
+		}
 		accessP95.Add(float64(r.Access))
 		accessP99.Add(float64(r.Access))
 		tuningP95.Add(float64(r.Tuning))
@@ -197,9 +233,19 @@ func (s *Simulator) accuracyMet(res *Result) bool {
 		res.Tuning.Converged(s.cfg.Confidence, s.cfg.Accuracy)
 }
 
-// runRequest executes one request process, drawing any error-injection
-// randomness from the given stream.
-func (s *Simulator) runRequest(rng *sim.RNG, key uint64, arrival sim.Time) (access.FaultyResult, error) {
+// runRequest executes one request process. The faults injector (nil on a
+// perfect channel) carries the shard's dedicated corruption substream;
+// rng is the shard's arrival stream, used only by the legacy
+// BitErrorRate path.
+func (s *Simulator) runRequest(rng *sim.RNG, inj *faults.Injector, key uint64, arrival sim.Time) (access.FaultyResult, error) {
+	if inj != nil {
+		inj.StartRequest()
+		return access.WalkRecover(
+			s.bc.Channel(),
+			func() access.Client { return s.bc.NewClient(key) },
+			arrival, inj, s.recoverPolicy(), 0,
+		)
+	}
 	if s.cfg.BitErrorRate > 0 {
 		return access.WalkFaulty(
 			s.bc.Channel(),

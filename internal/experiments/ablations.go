@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"github.com/airindex/airindex/internal/datagen"
+	"github.com/airindex/airindex/internal/faults"
 	"github.com/airindex/airindex/internal/schemes/treeidx"
 )
 
@@ -145,6 +146,10 @@ func AblateErrorRate(opt Options) ([]*Table, error) {
 		for _, s := range []string{"distributed", "signature"} {
 			cfg := opt.baseConfig(s, nr)
 			cfg.BitErrorRate = ber
+			// This ablation is the legacy error layer; it is mutually
+			// exclusive with the faults layer, so drop any session-wide
+			// Options.Faults for these points.
+			cfg.Faults = faults.Config{}
 			res, err := point(opt, cfg)
 			if err != nil {
 				return nil, err

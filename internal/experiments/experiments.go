@@ -6,6 +6,7 @@ import (
 
 	"github.com/airindex/airindex/internal/analytical"
 	"github.com/airindex/airindex/internal/core"
+	"github.com/airindex/airindex/internal/faults"
 	"github.com/airindex/airindex/internal/schemes/dist"
 	"github.com/airindex/airindex/internal/schemes/flat"
 	"github.com/airindex/airindex/internal/schemes/hashing"
@@ -27,6 +28,13 @@ type Options struct {
 	// substreams (0 keeps the single-shard default). Results depend on
 	// (Seed, Shards) but not on scheduling; see DESIGN.md §7.
 	Shards int
+	// Faults applies the deterministic unreliable-channel layer
+	// (internal/faults) to every point. The zero value keeps the perfect
+	// channel; a zero-rate model reproduces the perfect channel's tables
+	// byte for byte, because the fault process draws from its own RNG
+	// substream. Experiments that sweep an error layer themselves
+	// (ablate-errors, faults) override this per point.
+	Faults faults.Config
 	// Progress, when non-nil, receives one line per completed point.
 	Progress func(format string, args ...any)
 }
@@ -56,6 +64,7 @@ func (o Options) baseConfig(scheme string, records int) core.Config {
 	if o.Shards > 0 {
 		cfg.Shards = o.Shards
 	}
+	cfg.Faults = o.Faults
 	return cfg
 }
 
@@ -93,6 +102,7 @@ var registry = map[string]Runner{
 	"ablate-sig":     AblateSignatureLength,
 	"ablate-hash":    AblateHashAllocation,
 	"ablate-errors":  AblateErrorRate,
+	"faults":         FaultSweep,
 	"ext-signatures": ExtSignatureFamily,
 	"ext-bdisk":      ExtBroadcastDisks,
 	"ext-multiattr":  ExtMultiAttribute,
@@ -104,6 +114,7 @@ var tableAliases = map[string]string{
 	"fig4a": "fig4", "fig4b": "fig4",
 	"fig5a": "fig5", "fig5b": "fig5",
 	"fig6a": "fig6", "fig6b": "fig6",
+	"faults-at": "faults", "faults-tt": "faults", "faults-recovery": "faults",
 }
 
 // IDs lists the available experiment IDs, sorted. Table aliases (fig4a,

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"github.com/airindex/airindex/internal/core"
+	"github.com/airindex/airindex/internal/faults"
+)
+
+// faultRates is the error-rate sweep of the faults family: 0–10% bucket
+// loss, with a zero point anchoring the perfect-channel baseline.
+func faultRates(opt Options) []float64 {
+	if opt.Fast {
+		return []float64{0, 0.01, 0.05, 0.1}
+	}
+	return []float64{0, 0.001, 0.01, 0.02, 0.05, 0.1}
+}
+
+// FaultSweep sweeps the unreliable-channel error rate over all five
+// comparison schemes. It produces three tables: access time (faults-at),
+// tuning time (faults-tt, flat excluded as in the paper's figures), and
+// per-request recovery cost (faults-recovery: protocol restarts and
+// tuning bytes wasted on corrupted reads).
+//
+// The headline model is whole-bucket drop (every read fails independently
+// with the swept probability) under the restart recovery policy with an
+// unbounded retry budget, so every request eventually completes and the
+// At/Tt degradation is attributable to the channel, not to abandoned
+// requests. Rate 0 takes the same injected code path and reproduces the
+// perfect channel byte for byte.
+func FaultSweep(opt Options) ([]*Table, error) {
+	schemes := []string{"flat", "signature", "(1,m)", "distributed", "hashing"}
+	rates := faultRates(opt)
+	acc := &Table{
+		ID:     "faults-at",
+		Title:  "Access time vs. bucket error rate",
+		XLabel: "error rate %",
+		YLabel: "access time (bytes)",
+	}
+	tun := &Table{
+		ID:     "faults-tt",
+		Title:  "Tuning time vs. bucket error rate",
+		XLabel: "error rate %",
+		YLabel: "tuning time (bytes)",
+	}
+	rec := &Table{
+		ID:     "faults-recovery",
+		Title:  "Recovery cost vs. bucket error rate",
+		XLabel: "error rate %",
+		YLabel: "per request",
+	}
+	for _, s := range schemes {
+		acc.Columns = append(acc.Columns, s)
+		if s != "flat" {
+			tun.Columns = append(tun.Columns, s)
+		}
+		rec.Columns = append(rec.Columns, s+" restarts/req", s+" wasted/req")
+	}
+	nr := opt.comparisonRecords()
+	acc.Note("workload: %d records; whole-bucket drop model, restart recovery, unbounded retries", nr)
+	rec.Note("wasted/req is tuning bytes spent on reads that turned out corrupted")
+
+	var cfgs []core.Config
+	for _, rate := range rates {
+		for _, s := range schemes {
+			cfg := opt.baseConfig(s, nr)
+			cfg.Faults = faults.FromRate(faults.ModelDrop, rate)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := runPoints(opt, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for xi, rate := range rates {
+		x := rate * 100
+		accCells := make([]float64, 0, len(schemes))
+		tunCells := make([]float64, 0, len(schemes)-1)
+		recCells := make([]float64, 0, 2*len(schemes))
+		for si, s := range schemes {
+			res := results[xi*len(schemes)+si]
+			accCells = append(accCells, res.Access.Mean())
+			if s != "flat" {
+				tunCells = append(tunCells, res.Tuning.Mean())
+			}
+			req := float64(res.Requests)
+			recCells = append(recCells, float64(res.Restarts)/req, float64(res.WastedBytes)/req)
+		}
+		acc.AddRow(x, accCells...)
+		tun.AddRow(x, tunCells...)
+		rec.AddRow(x, recCells...)
+	}
+	return []*Table{acc, tun, rec}, nil
+}

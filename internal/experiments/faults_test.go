@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/airindex/airindex/internal/faults"
+)
+
+// csvBytes renders every table of one experiment run to CSV.
+func csvBytes(t *testing.T, id string, opt Options) []byte {
+	t.Helper()
+	ts, err := Run(id, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, tb := range ts {
+		if err := tb.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestZeroRateFaultsReproduceFigures is the PR's differential anchor: a
+// zero-rate fault model routed through Options reproduces the existing
+// figure tables byte for byte, because the fault substream never touches
+// the arrival RNG and zero-rate injection never fires.
+func TestZeroRateFaultsReproduceFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs fig4 and fig5 twice")
+	}
+	withFaults := fast
+	withFaults.Faults = faults.FromRate(faults.ModelDrop, 0)
+	for _, id := range []string{"fig4a", "fig5a"} {
+		base := csvBytes(t, id, fast)
+		faulted := csvBytes(t, id, withFaults)
+		if !bytes.Equal(base, faulted) {
+			t.Errorf("%s: zero-rate faults changed the CSV bytes:\nbase:\n%s\nfaulted:\n%s", id, base, faulted)
+		}
+	}
+}
+
+// TestFaultSweepShapes pins the faults family's qualitative results:
+// access and tuning degrade monotonically with the error rate for every
+// scheme, the zero-rate row has zero recovery cost, and nonzero rates
+// show restarts.
+func TestFaultSweepShapes(t *testing.T) {
+	ts, err := FaultSweep(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 || ts[0].ID != "faults-at" || ts[1].ID != "faults-tt" || ts[2].ID != "faults-recovery" {
+		t.Fatalf("faults family shape wrong: %v", ts)
+	}
+	acc, tun, rec := ts[0], ts[1], ts[2]
+	last := len(acc.Rows) - 1
+
+	nonDecreasing := func(v []float64) bool {
+		for i := 1; i < len(v); i++ {
+			if v[i] < v[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	for _, s := range []string{"flat", "signature", "(1,m)", "distributed", "hashing"} {
+		a := col(t, acc, s)
+		if !nonDecreasing(a) {
+			t.Errorf("%s access not monotone in error rate: %v", s, a)
+		}
+		if a[last] <= a[0] {
+			t.Errorf("%s access shows no degradation at 10%% loss: %v", s, a)
+		}
+		if s != "flat" {
+			if tt := col(t, tun, s); !nonDecreasing(tt) {
+				t.Errorf("%s tuning not monotone in error rate: %v", s, tt)
+			}
+		}
+		restarts := col(t, rec, s+" restarts/req")
+		wasted := col(t, rec, s+" wasted/req")
+		if restarts[0] != 0 || wasted[0] != 0 {
+			t.Errorf("%s: zero-rate row has recovery cost: restarts %v wasted %v", s, restarts[0], wasted[0])
+		}
+		if restarts[last] == 0 || wasted[last] == 0 {
+			t.Errorf("%s: 10%% loss shows no recovery cost", s)
+		}
+		if !nonDecreasing(restarts) {
+			t.Errorf("%s restarts/req not monotone: %v", s, restarts)
+		}
+	}
+}
+
+// TestFaultSweepDeterministic: the family is a pure function of
+// (Seed, Shards, rates) — repeated runs produce identical tables, sharded
+// or not.
+func TestFaultSweepDeterministic(t *testing.T) {
+	opt := fast
+	opt.Shards = 2
+	a, err := FaultSweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FaultSweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("repeated faults sweep differed")
+	}
+}
+
+// TestAblateErrorsIgnoresSessionFaults: the legacy BitErrorRate ablation
+// clears any session-wide Options.Faults (the two layers are mutually
+// exclusive), so `airbench -fault-model ... all` still runs.
+func TestAblateErrorsIgnoresSessionFaults(t *testing.T) {
+	opt := fast
+	opt.Faults = faults.FromRate(faults.ModelIID, 0.01)
+	if _, err := AblateErrorRate(opt); err != nil {
+		t.Fatalf("ablate-errors rejected a session-wide faults option: %v", err)
+	}
+}

@@ -10,9 +10,10 @@ import (
 // ExhaustiveAnalyzer keeps dispatch sites honest as the scheme and
 // bucket-kind vocabularies grow:
 //
-//   - A switch over a "Kind" enum (wire.Kind, access.StepKind — any
-//     Kind-suffixed named type declared in internal/wire or
-//     internal/access) must either list every package-level constant of
+//   - A switch over a "Kind" enum (wire.Kind, access.StepKind,
+//     faults.ModelKind — any Kind-suffixed named type declared in
+//     internal/wire, internal/access or internal/faults) must either
+//     list every package-level constant of
 //     that type or carry an explicit default. Go falls through switches
 //     silently, so adding KindFoo to wire without extending a switch
 //     would otherwise drop buckets on the floor with no diagnostic.
@@ -32,6 +33,7 @@ var ExhaustiveAnalyzer = &Analyzer{
 var kindEnumPackages = []string{
 	"internal/wire",
 	"internal/access",
+	"internal/faults",
 }
 
 func runExhaustive(pass *Pass) {

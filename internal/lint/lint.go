@@ -90,6 +90,12 @@ var simCritical = []string{
 	"internal/channel",
 	"internal/access",
 	"internal/stats",
+	// The unreliable-channel layer draws every fault decision from the
+	// splitmix(seed, shard, "faults") substream, so it is as replay-
+	// critical as the arrival process. It needs no entry in the
+	// confinement allowlist: injectors are plain per-shard state machines
+	// and spawn no goroutines.
+	"internal/faults",
 }
 
 // underAny reports whether rel is one of the given module-relative

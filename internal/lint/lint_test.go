@@ -93,6 +93,15 @@ func TestAnalyzers(t *testing.T) {
 		// exhaustive negatives: full coverage, explicit defaults, plain
 		// string switches.
 		{"internal/core/goodswitch", nil},
+		// exhaustive: the faults error-model enum is closed too.
+		{"internal/faults/badswitch", []string{
+			"badswitch.go:9: exhaustive",
+		}},
+		{"internal/faults/goodswitch", nil},
+		// determinism scope covers the faults layer (simCritical).
+		{"internal/faults/bad", []string{
+			"bad.go:8: determinism",
+		}},
 		// working suppressions: trailing and preceding-line directives.
 		{"directives/ok", nil},
 		// a stack of standalone directives covers one line for several

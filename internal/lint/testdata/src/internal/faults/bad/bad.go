@@ -1,0 +1,9 @@
+// Package bad proves the faults layer sits inside the determinism scope:
+// a wall-clock read in a fault model would break seed replayability.
+package bad
+
+import "time"
+
+func Jitter() int64 {
+	return time.Now().UnixNano() // line 8: wall clock
+}

@@ -1,0 +1,16 @@
+// Package badswitch dispatches on the error-model enum without covering
+// it; the switch is an exhaustive finding.
+package badswitch
+
+import "example.com/airlintfix/internal/faults"
+
+// Label misses ModelGilbertElliott and ModelDrop and has no default.
+func Label(k faults.ModelKind) string {
+	switch k {
+	case faults.ModelNone:
+		return "none"
+	case faults.ModelIID:
+		return "iid"
+	}
+	return ""
+}

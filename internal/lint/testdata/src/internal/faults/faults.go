@@ -1,0 +1,13 @@
+// Package faults mirrors the production error-model enum for fixtures:
+// exhaustive treats Kind-suffixed types from internal/faults as closed.
+package faults
+
+// ModelKind selects the error process applied to bucket reads.
+type ModelKind uint8
+
+const (
+	ModelNone ModelKind = iota
+	ModelIID
+	ModelGilbertElliott
+	ModelDrop
+)

@@ -1,0 +1,30 @@
+// Package goodswitch covers the error-model enum: a full case list and an
+// explicit default both satisfy exhaustive.
+package goodswitch
+
+import "example.com/airlintfix/internal/faults"
+
+// Full lists every model.
+func Full(k faults.ModelKind) string {
+	switch k {
+	case faults.ModelNone:
+		return "none"
+	case faults.ModelIID:
+		return "iid"
+	case faults.ModelGilbertElliott:
+		return "ge"
+	case faults.ModelDrop:
+		return "drop"
+	}
+	return ""
+}
+
+// Defaulted handles the unexpected explicitly.
+func Defaulted(k faults.ModelKind) string {
+	switch k {
+	case faults.ModelDrop:
+		return "drop"
+	default:
+		return "other"
+	}
+}

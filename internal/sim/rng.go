@@ -37,6 +37,21 @@ func NewShardRNG(seed int64, shard int) *RNG {
 	return NewRNG(SplitMix(seed, shard))
 }
 
+// StreamSeed derives the seed of a named per-shard substream:
+// splitmix(seed, shard, label). The label is folded into the base seed
+// with FNV-1a before the SplitMix64 shard derivation, so differently
+// named streams of the same (seed, shard) pair are decorrelated from each
+// other and from the unnamed arrival stream. The fault-injection layer
+// draws from splitmix(seed, shard, "faults") so that enabling faults
+// never perturbs the arrival process (DESIGN.md §7).
+func StreamSeed(seed int64, shard int, label string) int64 {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h = (h ^ uint64(label[i])) * 1099511628211 // FNV-1a prime
+	}
+	return SplitMix(int64(uint64(seed)^h), shard)
+}
+
 // Exponential draws an exponentially distributed duration with the given
 // mean, rounded up to at least one time unit. The paper's request
 // generation process "follows exponential distribution" (§3).

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -81,6 +82,38 @@ func TestSplitMixSubstreamsDistinct(t *testing.T) {
 	}
 	if same > 8 {
 		t.Fatalf("shard-0 substream tracks the base stream (%d/64 equal draws)", same)
+	}
+}
+
+// TestStreamSeedLabeledSubstreams: labeled substreams are pure functions
+// of (seed, shard, label), distinct per label, and decorrelated from the
+// unlabeled arrival substream of the same (seed, shard).
+func TestStreamSeedLabeledSubstreams(t *testing.T) {
+	if StreamSeed(42, 3, "faults") != StreamSeed(42, 3, "faults") {
+		t.Fatal("StreamSeed not a pure function")
+	}
+	seen := map[int64]string{}
+	for _, label := range []string{"", "faults", "faultt", "arrivals"} {
+		for shard := 0; shard < 16; shard++ {
+			s := StreamSeed(42, shard, label)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("labeled substream collision: %q/%d vs %s", label, shard, prev)
+			}
+			seen[s] = fmt.Sprintf("%q/%d", label, shard)
+			if s == SplitMix(42, shard) && label != "" {
+				t.Fatalf("label %q shard %d collides with the arrival substream", label, shard)
+			}
+		}
+	}
+	arrival, labeled := NewShardRNG(42, 0), NewRNG(StreamSeed(42, 0, "faults"))
+	same := 0
+	for i := 0; i < 64; i++ {
+		if arrival.Intn(1<<30) == labeled.Intn(1<<30) {
+			same++
+		}
+	}
+	if same > 8 {
+		t.Fatalf("faults substream tracks the arrival stream (%d/64 equal draws)", same)
 	}
 }
 

@@ -1,0 +1,72 @@
+package wire
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"github.com/airindex/airindex/internal/units"
+)
+
+// This file is the corruption-detection half of the unreliable-channel
+// extension (internal/faults supplies the loss process, access.WalkRecover
+// the recovery policy). A bucket's encoded bytes can be sealed into an
+// integrity frame: payload followed by a CRC32C (Castagnoli) trailer over
+// the payload. Receivers verify the trailer before trusting any field;
+// a mismatch is the signal that triggers the client's retry policy.
+//
+// The trailer is a sideband of the simulation's byte-clock: bucket Size()
+// and the broadcast geometry stay exactly the paper's (so fault-free runs
+// reproduce every table byte for byte), and detection is modeled as
+// perfect — justified by CRC32C's 2^-32 false-accept probability and its
+// guaranteed detection of all single-bit and burst-≤32 errors. DESIGN.md
+// §7 records this accounting decision.
+
+// checksumLen is the raw trailer width used by the codec internals.
+const checksumLen = 4
+
+// ChecksumSize is the byte size of the CRC32C trailer appended by Seal.
+const ChecksumSize units.ByteCount = checksumLen
+
+// castagnoli is the CRC32C polynomial table (iSCSI/ext4 polynomial,
+// hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32C of the payload.
+func Checksum(p []byte) uint32 { return crc32.Checksum(p, castagnoli) }
+
+// Seal returns payload ++ CRC32C(payload): the integrity frame broadcast
+// on an unreliable channel. The input is not modified.
+func Seal(p []byte) []byte {
+	out := make([]byte, 0, len(p)+checksumLen)
+	out = append(out, p...)
+	return binary.BigEndian.AppendUint32(out, Checksum(p))
+}
+
+// Verify splits a sealed frame into its payload after checking the
+// trailer. It returns a *DecodeError wrapping ErrTruncated when the frame
+// is too short to carry a trailer, and one wrapping ErrChecksum when the
+// trailer does not match — the bucket was corrupted in flight and nothing
+// in it may be trusted.
+func Verify(frame []byte) ([]byte, error) {
+	if len(frame) < checksumLen {
+		return nil, &DecodeError{Op: "verify", Need: checksumLen, Pos: 0, Len: len(frame), Err: ErrTruncated}
+	}
+	payload := frame[:len(frame)-checksumLen]
+	want := binary.BigEndian.Uint32(frame[len(frame)-checksumLen:])
+	if Checksum(payload) != want {
+		return nil, &DecodeError{Op: "verify", Need: checksumLen, Pos: len(payload), Len: len(frame), Err: ErrChecksum}
+	}
+	return payload, nil
+}
+
+// NewVerified returns a Reader over the payload of a sealed frame, or the
+// verification error. It is the entry point for byte-driven clients on an
+// unreliable channel: fields become readable only after the frame proves
+// intact.
+func NewVerified(frame []byte) (*Reader, error) {
+	payload, err := Verify(frame)
+	if err != nil {
+		return nil, err
+	}
+	return NewReader(payload), nil
+}

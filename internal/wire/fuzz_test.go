@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/airindex/airindex/internal/units"
+)
+
+// exercise drives every Reader operation over the buffer in a fixed
+// script; it must never panic, whatever the input.
+func exercise(p []byte) error {
+	r := NewReader(p)
+	_ = r.Header()
+	_ = r.U8()
+	_ = r.U16()
+	_ = r.U32()
+	_ = r.U64()
+	_ = r.Offset()
+	_ = r.Raw(3)
+	r.Skip(2)
+	_ = r.Raw(units.Bytes(len(p))) // always past the end by now
+	_ = r.Remaining()
+	return r.Err()
+}
+
+// FuzzReader holds the decoder to its no-panic, typed-error contract over
+// arbitrary byte strings. The seed corpus covers the empty buffer, every
+// short-header length, a well-formed bucket, and adversarial sizes.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add([]byte{0x02, 0x00, 0x00, 0x00})
+	w := NewWriter(64)
+	w.Header(Header{Kind: KindIndex, Seq: 7})
+	w.U16(42)
+	w.U64(1 << 40)
+	w.Offset(-1)
+	w.Raw([]byte("payload"))
+	f.Add(w.Bytes())
+	f.Add(Seal(w.Bytes()))
+	f.Add(make([]byte, 255))
+	f.Fuzz(func(t *testing.T, p []byte) {
+		err := exercise(p)
+		// The script over-reads every input of reasonable size, so an
+		// error must be present and typed.
+		if len(p) < 64 {
+			if err == nil {
+				t.Fatalf("over-read of %d bytes reported no error", len(p))
+			}
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("error %v does not wrap ErrTruncated", err)
+			}
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("error %v is not a *DecodeError", err)
+			}
+		}
+		// Verify must never panic either; a random frame's trailer only
+		// matches by a 2^-32 fluke, which the fuzzer will not hit.
+		if _, err := Verify(p); err == nil && len(p) < checksumLen {
+			t.Fatalf("Verify accepted a %d-byte frame shorter than its trailer", len(p))
+		}
+	})
+}
+
+// TestReaderQuick drives randomized buffers and read lengths through the
+// decoder with testing/quick: no panic, and truncation errors are typed.
+func TestReaderQuick(t *testing.T) {
+	robust := func(p []byte, n int64) bool {
+		r := NewReader(p)
+		_ = r.Raw(units.Bytes64(n)) // any n, including negative and huge
+		_ = r.Header()
+		_ = r.U64()
+		err := r.Err()
+		if err == nil {
+			return true
+		}
+		return errors.Is(err, ErrTruncated)
+	}
+	if err := quick.Check(robust, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSealVerifyRoundTrip(t *testing.T) {
+	w := NewWriter(32)
+	w.Header(Header{Kind: KindData, Seq: 3})
+	w.Raw([]byte("hello, air"))
+	payload := w.Bytes()
+	frame := Seal(payload)
+	if got, want := units.Bytes(len(frame)-len(payload)), ChecksumSize; got != want {
+		t.Fatalf("trailer is %d bytes, want %d", got, want)
+	}
+	back, err := Verify(frame)
+	if err != nil {
+		t.Fatalf("Verify(Seal(p)) failed: %v", err)
+	}
+	if string(back) != string(payload) {
+		t.Fatalf("payload mangled: %q != %q", back, payload)
+	}
+	r, err := NewVerified(frame)
+	if err != nil {
+		t.Fatalf("NewVerified: %v", err)
+	}
+	if h := r.Header(); h.Kind != KindData || h.Seq != 3 {
+		t.Fatalf("decoded header %+v", h)
+	}
+}
+
+// TestVerifyDetectsEveryBitFlip: CRC32C guarantees detection of any
+// single-bit error, so every possible flip of a sealed frame must fail
+// verification.
+func TestVerifyDetectsEveryBitFlip(t *testing.T) {
+	w := NewWriter(16)
+	w.Header(Header{Kind: KindIndex, Seq: 9})
+	w.U32(0xDEADBEEF)
+	frame := Seal(w.Bytes())
+	for bit := 0; bit < 8*len(frame); bit++ {
+		bad := make([]byte, len(frame))
+		copy(bad, frame)
+		bad[bit/8] ^= 1 << (bit % 8)
+		if _, err := Verify(bad); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("flip of bit %d not detected (err=%v)", bit, err)
+		}
+	}
+}
+
+func TestVerifyShortFrame(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3} {
+		if _, err := Verify(make([]byte, n)); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("Verify(%d bytes) err = %v, want ErrTruncated", n, err)
+		}
+	}
+	// Exactly a trailer over an empty payload is a valid frame.
+	empty := Seal(nil)
+	if p, err := Verify(empty); err != nil || len(p) != 0 {
+		t.Fatalf("Verify(Seal(nil)) = %v, %v", p, err)
+	}
+}
+
+func TestChecksumIsCastagnoli(t *testing.T) {
+	// "123456789" is the standard CRC check string; CRC32C yields 0xE3069283.
+	if got := Checksum([]byte("123456789")); got != 0xE3069283 {
+		t.Fatalf("Checksum = %#x, want 0xE3069283 (CRC32C)", got)
+	}
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], Checksum(nil))
+	if string(Seal(nil)) != string(buf[:]) {
+		t.Fatal("Seal(nil) is not the bare trailer")
+	}
+}

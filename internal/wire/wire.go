@@ -12,6 +12,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"github.com/airindex/airindex/internal/units"
@@ -114,7 +115,37 @@ func (w *Writer) Pad(n units.ByteCount) {
 	}
 }
 
-// Reader parses bucket fields from a byte slice.
+// ErrTruncated is the sentinel wrapped by every short-bucket decode error:
+// a Reader asked for bytes past the end of the buffer. Callers branch with
+// errors.Is(err, wire.ErrTruncated).
+var ErrTruncated = errors.New("wire: truncated bucket")
+
+// ErrChecksum is the sentinel wrapped when a sealed frame's CRC32C trailer
+// does not match its payload — the bucket was corrupted in flight.
+var ErrChecksum = errors.New("wire: checksum mismatch")
+
+// DecodeError is the typed error a Reader accumulates: which read failed,
+// where, and why. It wraps ErrTruncated (or ErrChecksum for sealed-frame
+// verification) so sentinel checks keep working.
+type DecodeError struct {
+	Op   string // the field read that failed ("header", "u32", "raw", ...)
+	Need int    // bytes the read required
+	Pos  int    // read position when it failed
+	Len  int    // total buffer length
+	Err  error  // sentinel cause (ErrTruncated, ErrChecksum)
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("%v: %s needs %d bytes at %d of %d", e.Err, e.Op, e.Need, e.Pos, e.Len)
+}
+
+// Unwrap exposes the sentinel cause to errors.Is.
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+// Reader parses bucket fields from a byte slice. A read past the end of
+// the buffer records a *DecodeError wrapping ErrTruncated and returns the
+// zero value; no input can make a Reader panic (the decoder fuzz tests
+// hold it to that).
 type Reader struct {
 	buf []byte
 	pos int
@@ -130,12 +161,14 @@ func (r *Reader) Err() error { return r.err }
 // Remaining returns the unread byte count.
 func (r *Reader) Remaining() units.ByteCount { return units.Bytes(len(r.buf) - r.pos) }
 
-func (r *Reader) need(n int) bool {
+func (r *Reader) need(op string, n int) bool {
 	if r.err != nil {
 		return false
 	}
-	if r.pos+n > len(r.buf) {
-		r.err = fmt.Errorf("wire: truncated bucket: need %d bytes at %d of %d", n, r.pos, len(r.buf))
+	// Compare against the remaining length (not r.pos+n) so a huge n
+	// cannot overflow past the bound and panic the slice below.
+	if n < 0 || n > len(r.buf)-r.pos {
+		r.err = &DecodeError{Op: op, Need: n, Pos: r.pos, Len: len(r.buf), Err: ErrTruncated}
 		return false
 	}
 	return true
@@ -143,7 +176,7 @@ func (r *Reader) need(n int) bool {
 
 // Header reads the common bucket header.
 func (r *Reader) Header() Header {
-	if !r.need(headerLen) {
+	if !r.need("header", headerLen) {
 		return Header{}
 	}
 	h := Header{Kind: Kind(r.buf[r.pos]), Seq: binary.BigEndian.Uint32(r.buf[r.pos+1:])}
@@ -153,7 +186,7 @@ func (r *Reader) Header() Header {
 
 // U8 reads one byte.
 func (r *Reader) U8() uint8 {
-	if !r.need(1) {
+	if !r.need("u8", 1) {
 		return 0
 	}
 	v := r.buf[r.pos]
@@ -163,7 +196,7 @@ func (r *Reader) U8() uint8 {
 
 // U16 reads a big-endian 16-bit value.
 func (r *Reader) U16() uint16 {
-	if !r.need(2) {
+	if !r.need("u16", 2) {
 		return 0
 	}
 	v := binary.BigEndian.Uint16(r.buf[r.pos:])
@@ -173,7 +206,7 @@ func (r *Reader) U16() uint16 {
 
 // U32 reads a big-endian 32-bit value.
 func (r *Reader) U32() uint32 {
-	if !r.need(4) {
+	if !r.need("u32", 4) {
 		return 0
 	}
 	v := binary.BigEndian.Uint32(r.buf[r.pos:])
@@ -183,7 +216,7 @@ func (r *Reader) U32() uint32 {
 
 // U64 reads a big-endian 64-bit value.
 func (r *Reader) U64() uint64 {
-	if !r.need(8) {
+	if !r.need("u64", 8) {
 		return 0
 	}
 	v := binary.BigEndian.Uint64(r.buf[r.pos:])
@@ -196,10 +229,7 @@ func (r *Reader) Offset() int64 { return int64(r.U64()) }
 
 // Raw reads n bytes verbatim.
 func (r *Reader) Raw(n units.ByteCount) []byte {
-	if n < 0 || !r.need(int(n)) {
-		if r.err == nil {
-			r.err = fmt.Errorf("wire: invalid raw length %d", n)
-		}
+	if !r.need("raw", int(n)) {
 		return nil
 	}
 	v := r.buf[r.pos : r.pos+int(n)]
@@ -209,7 +239,7 @@ func (r *Reader) Raw(n units.ByteCount) []byte {
 
 // Skip advances past n padding bytes.
 func (r *Reader) Skip(n units.ByteCount) {
-	if r.need(int(n)) {
+	if r.need("skip", int(n)) {
 		r.pos += int(n)
 	}
 }
