@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test test-race bench experiments experiments-fast faults-sweep examples clean
+.PHONY: all build vet lint test test-race cover bench experiments experiments-fast faults-sweep multich-sweep examples clean
 
 all: build vet lint test
 
@@ -21,6 +21,10 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -35,6 +39,12 @@ experiments-fast:
 # (results/faults-at.csv, faults-tt.csv, faults-recovery.csv).
 faults-sweep:
 	$(GO) run ./cmd/airbench -csv results faults
+
+# K-channel allocation sweep: K=1..8 replicated channels, free and
+# one-page switch costs, over all schemes (results/multich-at.csv,
+# multich-tt.csv). The K=1 rows match fig4a/fig5a exactly (CI gate).
+multich-sweep:
+	$(GO) run ./cmd/airbench -csv results multich
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -22,6 +22,8 @@ import (
 
 	"github.com/airindex/airindex/internal/experiments"
 	"github.com/airindex/airindex/internal/faults"
+	"github.com/airindex/airindex/internal/multichannel"
+	"github.com/airindex/airindex/internal/units"
 )
 
 func main() {
@@ -44,6 +46,10 @@ func run(args []string, out io.Writer) error {
 	faultRate := fs.Float64("fault-rate", 0, "headline error rate for -fault-model [0,1): per-bucket loss (drop), per-bit BER (iid), bad-state corruption rate (ge)")
 	faultRetries := fs.Int("fault-retries", 0, "corrupted reads tolerated per request (0 = unbounded)")
 	faultRecovery := fs.String("fault-recovery", "restart", "re-tune policy after a corrupted read: restart, cycle")
+	channels := fs.Int("channels", 0, "apply a K-channel allocation to every point (0 = single channel); the multich experiment sweeps its own")
+	switchCost := fs.Int("switch-cost", 0, "channel-switch cost in bytes, dozed through (needs -channels)")
+	alloc := fs.String("alloc", "replicated", "K-channel allocation policy: replicated, indexdata, skewed")
+	indexChannels := fs.Int("index-channels", 0, "indexdata policy: dedicated index channels (0 = 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,6 +71,19 @@ func run(args []string, out io.Writer) error {
 	opt.Faults.Recovery = recovery
 	opt.Faults.MaxRetries = *faultRetries
 	if err := opt.Faults.Validate(); err != nil {
+		return err
+	}
+	policy, err := multichannel.ParsePolicy(*alloc)
+	if err != nil {
+		return err
+	}
+	opt.Multi = multichannel.Config{
+		Channels:      *channels,
+		SwitchCost:    units.Bytes(*switchCost),
+		Policy:        policy,
+		IndexChannels: *indexChannels,
+	}
+	if err := opt.Multi.Validate(); err != nil {
 		return err
 	}
 	if !*quiet {

@@ -79,6 +79,52 @@ func TestRunFaultsExperiment(t *testing.T) {
 	}
 }
 
+// TestRunOneChannelIdenticalOutput is the CLI-level K=1 differential
+// check mirrored by CI: a one-channel replicated allocation with zero
+// switch cost must not change a single output byte of an existing figure.
+func TestRunOneChannelIdenticalOutput(t *testing.T) {
+	var base, one bytes.Buffer
+	if err := run([]string{"-fast", "-quiet", "fig5a"}, &base); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fast", "-quiet", "-channels", "1", "-alloc", "replicated", "fig5a"}, &one); err != nil {
+		t.Fatal(err)
+	}
+	if base.String() != one.String() {
+		t.Fatalf("K=1 allocation changed fig5a output:\n%s\nvs\n%s", base.String(), one.String())
+	}
+}
+
+// TestRunMultichExperiment: the multich family runs end to end from the
+// CLI and its aliases resolve.
+func TestRunMultichExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the multich sweep")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-fast", "-quiet", "multich-at"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Access time vs. number of broadcast channels") {
+		t.Fatalf("multich-at alias did not produce the access table:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "Tuning time vs. number of broadcast channels") {
+		t.Fatalf("multich-at alias leaked the tuning table:\n%s", out.String())
+	}
+}
+
+// TestRunRejectsBadChannelFlags: unknown allocation names and invalid
+// channel counts are refused before any experiment runs.
+func TestRunRejectsBadChannelFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fast", "-channels", "2", "-alloc", "bogus", "table1"}, &out); err == nil {
+		t.Fatal("unknown allocation policy accepted")
+	}
+	if err := run([]string{"-fast", "-channels", "-3", "table1"}, &out); err == nil {
+		t.Fatal("negative channel count accepted")
+	}
+}
+
 func TestRunRejectsBadFaultFlags(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-fast", "-fault-model", "bogus", "table1"}, &out); err == nil {

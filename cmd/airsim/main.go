@@ -9,6 +9,7 @@
 //	airsim -scheme distributed -records 17500
 //	airsim -scheme hashing -records 34000 -load 3
 //	airsim -scheme signature -records 7000 -sig-bytes 8 -availability 0.5
+//	airsim -scheme "(1,m)" -records 17500 -channels 4 -switch-cost 1024
 package main
 
 import (
@@ -21,6 +22,8 @@ import (
 
 	"github.com/airindex/airindex/internal/core"
 	"github.com/airindex/airindex/internal/faults"
+	"github.com/airindex/airindex/internal/multichannel"
+	"github.com/airindex/airindex/internal/units"
 )
 
 func main() {
@@ -49,6 +52,10 @@ func run(args []string, out io.Writer) error {
 	faultRate := fs.Float64("fault-rate", 0, "headline error rate for -fault-model [0,1): per-bucket loss (drop), per-bit BER (iid), bad-state corruption rate (ge)")
 	faultRetries := fs.Int("fault-retries", 0, "corrupted reads tolerated per request (0 = unbounded)")
 	faultRecovery := fs.String("fault-recovery", "restart", "re-tune policy after a corrupted read: restart, cycle")
+	channels := fs.Int("channels", 0, "broadcast channels K (0 = the single-channel path)")
+	switchCost := fs.Int("switch-cost", 0, "channel-switch cost in bytes, dozed through (needs -channels)")
+	alloc := fs.String("alloc", "replicated", "K-channel allocation policy: replicated, indexdata, skewed")
+	indexChannels := fs.Int("index-channels", 0, "indexdata policy: dedicated index channels (0 = 1)")
 	m := fs.Int("m", 0, "(1,m) indexing: tree copies per cycle (0 = optimal)")
 	r := fs.Int("r", -1, "distributed indexing: replicated levels (-1 = optimal)")
 	load := fs.Float64("load", 3, "hashing: target records per hash position")
@@ -80,6 +87,16 @@ func run(args []string, out io.Writer) error {
 	cfg.Faults = faults.FromRate(model, *faultRate)
 	cfg.Faults.Recovery = recovery
 	cfg.Faults.MaxRetries = *faultRetries
+	policy, err := multichannel.ParsePolicy(*alloc)
+	if err != nil {
+		return err
+	}
+	cfg.Multi = multichannel.Config{
+		Channels:      *channels,
+		SwitchCost:    units.Bytes(*switchCost),
+		Policy:        policy,
+		IndexChannels: *indexChannels,
+	}
 	cfg.Onem.M = *m
 	cfg.Dist.R = *r
 	cfg.Hashing.LoadFactor = *load
@@ -114,6 +131,13 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "bucket probes     %.2f per request\n", res.Probes.Mean())
 	if res.Restarts > 0 {
 		fmt.Fprintf(out, "error restarts    %d (%.3f per request)\n", res.Restarts, float64(res.Restarts)/float64(res.Requests))
+	}
+	if cfg.Multi.Enabled() {
+		fmt.Fprintf(out, "channels          %d (%s allocation, switch cost %dB)\n",
+			cfg.Multi.Channels, cfg.Multi.Policy, cfg.Multi.SwitchCost)
+		fmt.Fprintf(out, "channel switches  %.2f per request (%.1f dozed bytes per request)\n",
+			float64(res.Switches)/float64(res.Requests),
+			float64(res.SwitchWaitBytes)/float64(res.Requests))
 	}
 	if cfg.Faults.Enabled() {
 		fmt.Fprintf(out, "faults            model=%s rate=%g recovery=%s retries=%d\n",

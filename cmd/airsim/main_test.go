@@ -89,6 +89,39 @@ func TestRunShardsFlag(t *testing.T) {
 	}
 }
 
+// TestRunWithChannelFlags: the -channels/-switch-cost/-alloc flags reach
+// the multichannel layer and the run reports the switch counters.
+func TestRunWithChannelFlags(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-scheme", "distributed", "-records", "300", "-channels", "2", "-switch-cost", "64",
+		"-min-requests", "300", "-max-requests", "600", "-accuracy", "0.1", "-round", "150",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"channels          2 (replicated allocation, switch cost 64B)", "channel switches"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("multichannel run output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunRejectsBadChannelFlags: unknown policies and invalid
+// combinations are refused before the simulation starts.
+func TestRunRejectsBadChannelFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-channels", "2", "-alloc", "bogus", "-records", "100"}, &out); err == nil {
+		t.Fatal("unknown allocation policy accepted")
+	}
+	if err := run([]string{"-channels", "-2", "-records", "100"}, &out); err == nil {
+		t.Fatal("negative channel count accepted")
+	}
+	if err := run([]string{"-scheme", "flat", "-channels", "3", "-alloc", "indexdata", "-records", "100"}, &out); err == nil {
+		t.Fatal("index/data allocation accepted for an index-less scheme")
+	}
+}
+
 func TestRunRejectsUnknownScheme(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-scheme", "nope", "-records", "100"}, &out); err == nil {

@@ -1,0 +1,135 @@
+package access
+
+import (
+	"fmt"
+
+	"github.com/airindex/airindex/internal/multichannel"
+	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
+)
+
+// MultiResult extends FaultyResult with channel-hopping accounting.
+type MultiResult struct {
+	FaultyResult
+	// Switches counts channel hops the receiver performed after its
+	// initial (free) tune.
+	Switches int
+	// SwitchWait is the total retune cost in bytes across those hops. The
+	// receiver dozes through it, so it is included in Access but never in
+	// Tuning.
+	SwitchWait units.ByteCount
+}
+
+// WalkMulti executes one query against a K-channel allocation. The
+// mechanics mirror Walk with one generalization: wherever the
+// single-channel walk waits for a bucket's next occurrence on the one
+// channel, the multichannel walk waits for its earliest feasible
+// occurrence across all channels that carry it — staying on the current
+// channel is free, hopping costs the set's switch cost in dozed bytes.
+// Concretely:
+//
+//   - the initial tune locks onto the earliest complete bucket on any
+//     channel (no switch cost: the receiver was not tuned yet);
+//   - StepNext seeks the next logical bucket, which on the current
+//     channel is the contiguous next bucket whenever the channel carries
+//     it (so a serial scan stays put), and may be a hop otherwise;
+//   - a hinted doze (DozeAt) seeks the hinted bucket's earliest feasible
+//     occurrence — the hint names a logical bucket, so the walker
+//     recomputes occurrence times per channel instead of trusting the
+//     client's single-channel wake time;
+//   - an unhinted doze stays on the current channel and wakes at the next
+//     complete bucket at or after the requested time.
+//
+// With one channel under PolicyReplicated and zero switch cost every
+// query reproduces Walk byte for byte (the K=1 identity guarantee; see
+// DESIGN.md §8).
+func WalkMulti(set *multichannel.Set, c Client, arrival sim.Time, maxSteps int) (MultiResult, error) {
+	return walkMulti(set, func() Client { return c }, arrival, nil, RecoverPolicy{}, maxSteps)
+}
+
+// WalkRecoverMulti is WalkMulti over an unreliable channel: the same
+// corruption process and retry policy as WalkRecover, applied to the
+// channel-hopping walk. Recovery keeps the receiver on its current
+// channel — a corrupted read says nothing about where to go, so the
+// client re-tunes in place (RecoverPolicy.NextCycle waits for the current
+// channel's next cycle start). newClient must return a fresh protocol
+// state machine per restart; inj may be nil for a perfect channel.
+func WalkRecoverMulti(set *multichannel.Set, newClient func() Client, arrival sim.Time, inj Corrupter, pol RecoverPolicy, maxSteps int) (MultiResult, error) {
+	return walkMulti(set, newClient, arrival, inj, pol, maxSteps)
+}
+
+func walkMulti(set *multichannel.Set, newClient func() Client, arrival sim.Time, inj Corrupter, pol RecoverPolicy, maxSteps int) (MultiResult, error) {
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	var res MultiResult
+	n := set.NumLogical()
+	cost := set.SwitchCost()
+	c := newClient()
+	cur, local, start := set.FirstBucket(arrival)
+	for step := 0; step < maxSteps; step++ {
+		end := set.EndGiven(cur, local, start)
+		size := set.SizeOfLocal(cur, local)
+		probe := res.Probes
+		res.Tuning += size
+		res.Probes++
+		if inj != nil && inj.Corrupt(probe, size) {
+			res.Restarts++
+			res.Wasted += size
+			if pol.MaxRetries > 0 && res.Restarts > pol.MaxRetries {
+				// Retry budget exhausted: abandon the request. The time
+				// already spent still counts — the user waited for it.
+				res.Access = units.Elapsed(arrival, end)
+				res.Found = false
+				res.Unrecovered = true
+				return res, nil
+			}
+			c = newClient()
+			if pol.NextCycle {
+				// Doze (no tuning cost) until the current channel's cycle
+				// restarts.
+				local, start = set.NextOnChannel(cur, set.NextCycleStartOn(cur, end))
+			} else {
+				local, start = set.NextOnChannel(cur, end)
+			}
+			continue
+		}
+		s := c.OnBucket(set.Logical(cur, local), end)
+		switch s.Kind {
+		case StepNext:
+			target := set.Logical(cur, local).Next(n)
+			ch, l, at := set.NextFeasible(target, end, cur)
+			if ch != cur {
+				res.Switches++
+				res.SwitchWait += cost
+				cur = ch
+			}
+			local, start = l, at
+		case StepDoze:
+			if s.At < end {
+				return res, fmt.Errorf("access: client dozed into the past: %d < %d", s.At, end)
+			}
+			if s.Hint.InCycle(n) {
+				ch, l, at := set.NextFeasible(s.Hint, end, cur)
+				if ch != cur {
+					res.Switches++
+					res.SwitchWait += cost
+					cur = ch
+				}
+				local, start = l, at
+			} else {
+				local, start = set.NextOnChannel(cur, s.At)
+			}
+		case StepDone:
+			res.Access = units.Elapsed(arrival, end)
+			res.Found = s.Found
+			return res, nil
+		default:
+			return res, fmt.Errorf("access: invalid step kind %d", s.Kind)
+		}
+	}
+	if inj != nil && pol.MaxRetries <= 0 {
+		return res, fmt.Errorf("access: recovering multichannel query exceeded %d steps without terminating (unbounded retries; bound RecoverPolicy.MaxRetries — at this error rate the scheme cannot complete a clean pass)", maxSteps)
+	}
+	return res, fmt.Errorf("access: multichannel query exceeded %d steps without terminating", maxSteps)
+}

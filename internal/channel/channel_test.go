@@ -220,6 +220,75 @@ func TestQuickInFlightAt(t *testing.T) {
 	}
 }
 
+// TestBoundaryArithmetic pins the geometry at the exact edges the
+// multichannel walkers depend on: t==0, starts that coincide with cycle
+// boundaries, and the final bucket's wraparound into the next cycle.
+func TestBoundaryArithmetic(t *testing.T) {
+	c := buildTest(t, 10, 20, 30)
+	cycle := c.CycleLen().Span()
+
+	// t == 0: every query resolves inside the first cycle with no wrap.
+	if idx, start := c.NextBucketAt(0); idx != 0 || start != 0 {
+		t.Errorf("NextBucketAt(0) = (%d, %d), want (0, 0)", idx, start)
+	}
+	if idx, start := c.InFlightAt(0); idx != 0 || start != 0 {
+		t.Errorf("InFlightAt(0) = (%d, %d), want (0, 0)", idx, start)
+	}
+	for i, want := range []sim.Time{0, 10, 30} {
+		if got := c.NextOccurrence(units.Index(i), 0); got != want {
+			t.Errorf("NextOccurrence(%d, 0) = %d, want %d", i, got, want)
+		}
+	}
+
+	// Exact cycle boundaries: at t = k*cycle the first bucket starts NOW,
+	// in flight is the first bucket, and occurrences land in that cycle.
+	for _, k := range []sim.Time{1, 2, 7} {
+		at := k * cycle
+		if idx, start := c.NextBucketAt(at); idx != 0 || start != at {
+			t.Errorf("NextBucketAt(%d) = (%d, %d), want (0, %d)", at, idx, start, at)
+		}
+		if idx, start := c.InFlightAt(at); idx != 0 || start != at {
+			t.Errorf("InFlightAt(%d) = (%d, %d), want (0, %d)", at, idx, start, at)
+		}
+		if got := c.NextOccurrence(2, at); got != at+30 {
+			t.Errorf("NextOccurrence(2, %d) = %d, want %d", at, got, at+30)
+		}
+		// One byte earlier: still inside the previous cycle's final bucket.
+		if idx, start := c.InFlightAt(at-1); idx != 2 || start != at-30 {
+			t.Errorf("InFlightAt(%d) = (%d, %d), want (2, %d)", at-1, idx, start, at-30)
+		}
+	}
+
+	// Final-bucket wraparound: one byte into the last bucket, its next
+	// occurrence is a full cycle after the current one began.
+	if got := c.NextOccurrence(2, 31); got != 30+cycle {
+		t.Errorf("NextOccurrence(2, 31) = %d, want %d", got, 30+cycle)
+	}
+	// ... and at its exact start the occurrence is inclusive.
+	if got := c.NextOccurrence(2, 30); got != 30 {
+		t.Errorf("NextOccurrence(2, 30) = %d, want 30", got)
+	}
+	// Mid final bucket, the next boundary is the next cycle's first bucket.
+	if idx, start := c.NextBucketAt(5*cycle + 31); idx != 0 || start != 6*cycle {
+		t.Errorf("NextBucketAt(mid final) = (%d, %d), want (0, %d)", idx, start, 6*cycle)
+	}
+
+	// Single-bucket channel: cycle == bucket, every boundary coincides.
+	one := buildTest(t, 7)
+	if idx, start := one.NextBucketAt(7); idx != 0 || start != 7 {
+		t.Errorf("one-bucket NextBucketAt(7) = (%d, %d), want (0, 7)", idx, start)
+	}
+	if idx, start := one.NextBucketAt(6); idx != 0 || start != 7 {
+		t.Errorf("one-bucket NextBucketAt(6) = (%d, %d), want (0, 7)", idx, start)
+	}
+	if idx, start := one.InFlightAt(13); idx != 0 || start != 7 {
+		t.Errorf("one-bucket InFlightAt(13) = (%d, %d), want (0, 7)", idx, start)
+	}
+	if got := one.NextOccurrence(0, 8); got != 14 {
+		t.Errorf("one-bucket NextOccurrence(0, 8) = %d, want 14", got)
+	}
+}
+
 func TestMustBuildPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -18,8 +18,10 @@ import (
 
 	"github.com/airindex/airindex/internal/datagen"
 	"github.com/airindex/airindex/internal/faults"
+	"github.com/airindex/airindex/internal/multichannel"
 	"github.com/airindex/airindex/internal/schemes/bdisk"
 	"github.com/airindex/airindex/internal/schemes/dist"
+	"github.com/airindex/airindex/internal/schemes/flat"
 	"github.com/airindex/airindex/internal/schemes/hashing"
 	"github.com/airindex/airindex/internal/schemes/hybrid"
 	"github.com/airindex/airindex/internal/schemes/onem"
@@ -83,6 +85,16 @@ type Config struct {
 	// reproduces the perfect-channel output byte for byte. The zero value
 	// disables injection.
 	Faults faults.Config
+
+	// Multi configures the K-channel broadcast subsystem: the number of
+	// physical channels, the allocation policy that maps the scheme's
+	// logical cycle onto them, and the receiver's channel-switch cost
+	// (dozed bytes — access time, never tuning time). The zero value keeps
+	// the single-channel path the paper evaluates. A one-channel
+	// replicated allocation with zero switch cost reproduces the
+	// single-channel Result byte for byte, and a multichannel run's Result
+	// is a pure function of (Seed, Shards, Multi); see DESIGN.md §8.
+	Multi multichannel.Config
 
 	// ZipfS skews request popularity over the records' popularity ranks
 	// (record index 0 hottest) with a Zipf exponent s > 1; 0 keeps the
@@ -170,5 +182,41 @@ func (c Config) Validate() error {
 	if c.Faults.Enabled() && c.BitErrorRate > 0 {
 		return fmt.Errorf("core: Faults and the legacy BitErrorRate are mutually exclusive; pick one error layer")
 	}
+	if faultsCanCorrupt(c.Faults) && c.Faults.MaxRetries == 0 && c.Availability < 1 && serialScheme(c.Scheme) {
+		// The access.RecoverPolicy caveat, enforced: a serial scheme can
+		// only conclude a key is absent after a full clean pass of the
+		// cycle, so with errors injected and keys that may be missing, an
+		// unbounded retry budget can search forever and the walk dies on
+		// its step budget instead of degrading gracefully.
+		return fmt.Errorf("core: scheme %q is serial (concludes absence only after a full clean pass); with faults enabled and availability %v < 1, unbounded retries (Faults.MaxRetries=0) may never terminate on a missing key — set Faults.MaxRetries", c.Scheme, c.Availability)
+	}
+	if err := c.Multi.Validate(); err != nil {
+		return err
+	}
+	if c.Multi.Enabled() && c.BitErrorRate > 0 {
+		return fmt.Errorf("core: the legacy BitErrorRate layer predates multichannel and is single-channel only; use Faults with Multi")
+	}
 	return nil
+}
+
+// faultsCanCorrupt reports whether the fault configuration can actually
+// corrupt a read: an enabled model at rate zero takes the injected code
+// path but never corrupts, so unbounded retries stay safe (the zero-rate
+// differential tests rely on exactly that).
+func faultsCanCorrupt(f faults.Config) bool {
+	return f.Enabled() && (f.Rate() > 0 || f.ErrGood > 0)
+}
+
+// serialScheme reports whether the named scheme finds records by serially
+// scanning the cycle with no index to bound the search: flat and the
+// signature family read every (signature) bucket until a match, and
+// broadcast disks is a flat scan over the disk-frequency layout. These
+// are the schemes whose missing-key searches need a full clean pass.
+func serialScheme(name string) bool {
+	switch name {
+	case flat.Name, signature.Name, signature.IntegratedName, signature.MultiLevelName, bdisk.Name:
+		return true
+	default:
+		return false
+	}
 }

@@ -45,6 +45,8 @@ type shardRunner struct {
 	restarts                  int64
 	wasted                    int64
 	unrecovered               int64
+	switches                  int64
+	switchWait                int64
 	rounds                    int
 	inRound                   int
 	done                      bool  // budget exhausted; queue drained
@@ -117,6 +119,8 @@ func (s *Simulator) shardArrival(sh *shardRunner) func(*sim.Simulator) {
 		if r.Unrecovered {
 			sh.unrecovered++
 		}
+		sh.switches += int64(r.Switches)
+		sh.switchWait += int64(r.SwitchWait)
 		sh.accessP95.Add(float64(r.Access))
 		sh.accessP99.Add(float64(r.Access))
 		sh.tuningP95.Add(float64(r.Tuning))
@@ -217,7 +221,7 @@ func (s *Simulator) mergeShards(shards []*shardRunner) *Result {
 	res := &Result{
 		Scheme:     s.cfg.Scheme,
 		CycleBytes: s.bc.Channel().CycleLen(),
-		Params:     s.bc.Params(),
+		Params:     s.resultParams(),
 	}
 	a95 := stats.MustQuantile(0.95)
 	a99 := stats.MustQuantile(0.99)
@@ -230,6 +234,8 @@ func (s *Simulator) mergeShards(shards []*shardRunner) *Result {
 		res.Restarts += sh.restarts
 		res.WastedBytes += sh.wasted
 		res.Unrecovered += sh.unrecovered
+		res.Switches += sh.switches
+		res.SwitchWaitBytes += sh.switchWait
 		res.Rounds += sh.rounds
 		res.Events += sh.eng.Processed
 		res.Access.Merge(&sh.access)

@@ -6,6 +6,7 @@ import (
 	"github.com/airindex/airindex/internal/access"
 	"github.com/airindex/airindex/internal/datagen"
 	"github.com/airindex/airindex/internal/faults"
+	"github.com/airindex/airindex/internal/multichannel"
 	"github.com/airindex/airindex/internal/sim"
 	"github.com/airindex/airindex/internal/stats"
 	"github.com/airindex/airindex/internal/units"
@@ -41,6 +42,12 @@ type Result struct {
 	// Unrecovered counts requests abandoned after exhausting the faults
 	// retry budget — unrecoverable misses, a subset of NotFound.
 	Unrecovered int64
+	// Switches counts receiver channel hops across all requests (K-channel
+	// runs only; zero on a single channel).
+	Switches int64
+	// SwitchWaitBytes is the total channel-switch retune cost in bytes,
+	// dozed through — included in access time, never in tuning time.
+	SwitchWaitBytes int64
 	// AccessP95 and AccessP99 are online P2 estimates of the access-time
 	// tail, in bytes; TuningP95/TuningP99 likewise for tuning time.
 	AccessP95, AccessP99 float64
@@ -60,6 +67,7 @@ type Simulator struct {
 	cfg  Config
 	ds   *datagen.Dataset
 	bc   access.Broadcast
+	set  *multichannel.Set // K-channel allocation; nil on the single-channel path
 	rng  *sim.RNG
 	zipf func() int // nil for the uniform workload
 }
@@ -79,10 +87,39 @@ func New(cfg Config) (*Simulator, error) {
 		return nil, err
 	}
 	s := &Simulator{cfg: cfg, ds: ds, bc: bc, rng: sim.NewRNG(cfg.Seed)}
+	if cfg.Multi.Enabled() {
+		mcfg := cfg.Multi
+		if mcfg.Policy == multichannel.PolicySkewed && mcfg.Skew == 0 {
+			// The skewed partition defaults to the workload's own skew, so
+			// the hot channel matches the hot requests.
+			mcfg.Skew = cfg.ZipfS
+		}
+		set, err := multichannel.Build(bc.Channel(), mcfg)
+		if err != nil {
+			return nil, err
+		}
+		s.set = set
+	}
 	if cfg.ZipfS > 1 {
 		s.zipf = s.rng.Zipf(cfg.ZipfS, ds.Len())
 	}
 	return s, nil
+}
+
+// Multichannel exposes the K-channel allocation (nil on the
+// single-channel path), for tests and experiment labels.
+func (s *Simulator) Multichannel() *multichannel.Set { return s.set }
+
+// resultParams echoes the scheme's structural parameters, augmented with
+// the multichannel allocation when it is active.
+func (s *Simulator) resultParams() map[string]float64 {
+	p := s.bc.Params()
+	if s.set != nil {
+		p["channels"] = float64(s.set.K())
+		p["switch_cost"] = float64(s.set.SwitchCost())
+		p["policy"] = float64(s.set.Config().Policy)
+	}
+	return p
 }
 
 // Broadcast exposes the constructed broadcast (for tests and examples).
@@ -157,7 +194,7 @@ func (s *Simulator) runSequential() (*Result, error) {
 	res := &Result{
 		Scheme:     s.cfg.Scheme,
 		CycleBytes: s.bc.Channel().CycleLen(),
-		Params:     s.bc.Params(),
+		Params:     s.resultParams(),
 	}
 	engine := sim.New()
 	accessP95 := stats.MustQuantile(0.95)
@@ -192,6 +229,8 @@ func (s *Simulator) runSequential() (*Result, error) {
 		if r.Unrecovered {
 			res.Unrecovered++
 		}
+		res.Switches += int64(r.Switches)
+		res.SwitchWaitBytes += int64(r.SwitchWait)
 		accessP95.Add(float64(r.Access))
 		accessP99.Add(float64(r.Access))
 		tuningP95.Add(float64(r.Tuning))
@@ -236,25 +275,40 @@ func (s *Simulator) accuracyMet(res *Result) bool {
 // runRequest executes one request process. The faults injector (nil on a
 // perfect channel) carries the shard's dedicated corruption substream;
 // rng is the shard's arrival stream, used only by the legacy
-// BitErrorRate path.
-func (s *Simulator) runRequest(rng *sim.RNG, inj *faults.Injector, key uint64, arrival sim.Time) (access.FaultyResult, error) {
+// BitErrorRate path. With the multichannel subsystem active the
+// channel-hopping walkers take over; they consume no RNG, so the arrival
+// and fault streams are identical to the single-channel run's.
+func (s *Simulator) runRequest(rng *sim.RNG, inj *faults.Injector, key uint64, arrival sim.Time) (access.MultiResult, error) {
+	if s.set != nil {
+		if inj != nil {
+			inj.StartRequest()
+			return access.WalkRecoverMulti(
+				s.set,
+				func() access.Client { return s.bc.NewClient(key) },
+				arrival, inj, s.recoverPolicy(), 0,
+			)
+		}
+		return access.WalkMulti(s.set, s.bc.NewClient(key), arrival, 0)
+	}
 	if inj != nil {
 		inj.StartRequest()
-		return access.WalkRecover(
+		r, err := access.WalkRecover(
 			s.bc.Channel(),
 			func() access.Client { return s.bc.NewClient(key) },
 			arrival, inj, s.recoverPolicy(), 0,
 		)
+		return access.MultiResult{FaultyResult: r}, err
 	}
 	if s.cfg.BitErrorRate > 0 {
-		return access.WalkFaulty(
+		r, err := access.WalkFaulty(
 			s.bc.Channel(),
 			func() access.Client { return s.bc.NewClient(key) },
 			arrival, s.cfg.BitErrorRate, rng.Float64, 0,
 		)
+		return access.MultiResult{FaultyResult: r}, err
 	}
 	r, err := access.Walk(s.bc.Channel(), s.bc.NewClient(key), arrival, 0)
-	return access.FaultyResult{Result: r}, err
+	return access.MultiResult{FaultyResult: access.FaultyResult{Result: r}}, err
 }
 
 // RunOne builds a simulator for cfg and runs it; a convenience for the

@@ -7,6 +7,7 @@ import (
 	"github.com/airindex/airindex/internal/analytical"
 	"github.com/airindex/airindex/internal/core"
 	"github.com/airindex/airindex/internal/faults"
+	"github.com/airindex/airindex/internal/multichannel"
 	"github.com/airindex/airindex/internal/schemes/dist"
 	"github.com/airindex/airindex/internal/schemes/flat"
 	"github.com/airindex/airindex/internal/schemes/hashing"
@@ -35,6 +36,12 @@ type Options struct {
 	// substream. Experiments that sweep an error layer themselves
 	// (ablate-errors, faults) override this per point.
 	Faults faults.Config
+	// Multi applies the K-channel broadcast subsystem to every point. The
+	// zero value keeps the paper's single channel; a one-channel
+	// replicated allocation with zero switch cost reproduces the
+	// single-channel tables byte for byte (the hopping walkers consume no
+	// RNG). The multich experiment sweeps its own allocations per point.
+	Multi multichannel.Config
 	// Progress, when non-nil, receives one line per completed point.
 	Progress func(format string, args ...any)
 }
@@ -65,6 +72,7 @@ func (o Options) baseConfig(scheme string, records int) core.Config {
 		cfg.Shards = o.Shards
 	}
 	cfg.Faults = o.Faults
+	cfg.Multi = o.Multi
 	return cfg
 }
 
@@ -103,6 +111,7 @@ var registry = map[string]Runner{
 	"ablate-hash":    AblateHashAllocation,
 	"ablate-errors":  AblateErrorRate,
 	"faults":         FaultSweep,
+	"multich":        MultichSweep,
 	"ext-signatures": ExtSignatureFamily,
 	"ext-bdisk":      ExtBroadcastDisks,
 	"ext-multiattr":  ExtMultiAttribute,
@@ -115,6 +124,7 @@ var tableAliases = map[string]string{
 	"fig5a": "fig5", "fig5b": "fig5",
 	"fig6a": "fig6", "fig6b": "fig6",
 	"faults-at": "faults", "faults-tt": "faults", "faults-recovery": "faults",
+	"multich-at": "multich", "multich-tt": "multich",
 }
 
 // IDs lists the available experiment IDs, sorted. Table aliases (fig4a,
@@ -166,6 +176,9 @@ func RunAll(opt Options) ([]*Table, error) {
 // analytic returns the paper's model predictions in bytes for a finished
 // run, or NaNs when the paper gives no closed form for the setting.
 func analytic(cfg core.Config, res *core.Result) (accessBytes, tuningBytes float64) {
+	if cfg.Multi.Enabled() {
+		return analyticMulti(cfg, res)
+	}
 	nan := func() (float64, float64) { return nanF, nanF }
 	p := res.Params
 	switch cfg.Scheme {

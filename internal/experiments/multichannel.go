@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/airindex/airindex/internal/analytical"
+	"github.com/airindex/airindex/internal/core"
+	"github.com/airindex/airindex/internal/multichannel"
+	"github.com/airindex/airindex/internal/schemes/dist"
+	"github.com/airindex/airindex/internal/schemes/flat"
+	"github.com/airindex/airindex/internal/schemes/hashing"
+	"github.com/airindex/airindex/internal/schemes/onem"
+	"github.com/airindex/airindex/internal/schemes/signature"
+	"github.com/airindex/airindex/internal/units"
+)
+
+// multichChannels is the K sweep of the multichannel family. The K=1
+// point anchors the single-channel baseline: with zero switch cost it is
+// byte-identical to the fig4/fig5 runs (the differential test and CI gate
+// pin exactly that).
+func multichChannels(opt Options) []int {
+	if opt.Fast {
+		return []int{1, 2, 4, 8}
+	}
+	return []int{1, 2, 3, 4, 5, 6, 7, 8}
+}
+
+// multichSwitchCosts is the retune-cost sweep, in bytes elapsed while the
+// receiver re-tunes (dozing): a free switch and a one-page cost.
+func multichSwitchCosts() []units.ByteCount {
+	return []units.ByteCount{0, 1024}
+}
+
+// MultichSweep sweeps the replicated K-channel allocation over all five
+// comparison schemes, for each channel-switch cost. It produces two
+// tables: access time (multich-at) and tuning time (multich-tt, flat
+// excluded as in the paper's figures), with one column per scheme and
+// switch cost.
+//
+// The headline allocation is Replicated — the full cycle on every
+// channel, phases staggered by 1/K of the cycle — because it admits every
+// scheme unchanged and has clean closed forms; the IndexData and Skewed
+// policies are exercised by the unit and agreement tests. Tuning time is
+// expected flat in K: allocation moves buckets between channels, it does
+// not change how many a selective probe reads.
+func MultichSweep(opt Options) ([]*Table, error) {
+	schemes := []string{"flat", "signature", "(1,m)", "distributed", "hashing"}
+	ks := multichChannels(opt)
+	costs := multichSwitchCosts()
+	acc := &Table{
+		ID:     "multich-at",
+		Title:  "Access time vs. number of broadcast channels",
+		XLabel: "channels K",
+		YLabel: "access time (bytes)",
+	}
+	tun := &Table{
+		ID:     "multich-tt",
+		Title:  "Tuning time vs. number of broadcast channels",
+		XLabel: "channels K",
+		YLabel: "tuning time (bytes)",
+	}
+	for _, cost := range costs {
+		for _, s := range schemes {
+			col := fmt.Sprintf("%s sw%d", s, cost)
+			acc.Columns = append(acc.Columns, col)
+			if s != "flat" {
+				tun.Columns = append(tun.Columns, col)
+			}
+		}
+	}
+	nr := opt.comparisonRecords()
+	acc.Note("workload: %d records; replicated allocation, phases staggered by 1/K; swN = channel-switch cost in bytes", nr)
+	tun.Note("switch cost is dozed through, so tuning time stays flat in K by construction")
+
+	var cfgs []core.Config
+	for _, k := range ks {
+		for _, cost := range costs {
+			for _, s := range schemes {
+				cfg := opt.baseConfig(s, nr)
+				cfg.Multi = multichannel.Config{Channels: k, SwitchCost: cost}
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	results, err := runPoints(opt, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	per := len(costs) * len(schemes)
+	for xi, k := range ks {
+		accCells := make([]float64, 0, per)
+		tunCells := make([]float64, 0, per-len(costs))
+		for ci := range costs {
+			for si, s := range schemes {
+				res := results[xi*per+ci*len(schemes)+si]
+				accCells = append(accCells, res.Access.Mean())
+				if s != "flat" {
+					tunCells = append(tunCells, res.Tuning.Mean())
+				}
+			}
+		}
+		acc.AddRow(float64(k), accCells...)
+		tun.AddRow(float64(k), tunCells...)
+	}
+	return []*Table{acc, tun}, nil
+}
+
+// analyticMulti returns the K-channel model predictions in bytes for a
+// finished multichannel run, or NaNs where no closed form applies (the
+// skewed policy, and nonzero switch costs — the models assume a free
+// retune; the walker's cost gating keeps the simulated curves between the
+// free-switch and single-channel predictions).
+func analyticMulti(cfg core.Config, res *core.Result) (accessBytes, tuningBytes float64) {
+	nan := func() (float64, float64) { return nanF, nanF }
+	if cfg.Multi.SwitchCost > 0 {
+		return nan()
+	}
+	// Tuning (and the serial schemes' access) follow the single-channel
+	// forms under every allocation.
+	single := cfg
+	single.Multi = multichannel.Config{}
+	at1, tt1 := analytic(single, res)
+
+	p := res.Params
+	k := cfg.Multi.Channels
+	switch cfg.Multi.Policy {
+	case multichannel.PolicyReplicated:
+		switch cfg.Scheme {
+		case flat.Name, signature.Name:
+			// Serial scans never doze; replication gains them nothing.
+			return at1, tt1
+		case onem.Name:
+			tp := analytical.TreeParams{
+				Fanout:  int(p["fanout"]),
+				Levels:  analytical.LevelsFor(int(p["fanout"]), cfg.Data.NumRecords),
+				Records: cfg.Data.NumRecords,
+			}
+			return analytical.OneMAccessK(tp, int(p["m"]), k) * p["bucket_size"], tt1
+		case dist.Name:
+			tp := analytical.TreeParams{
+				Fanout:     int(p["fanout"]),
+				Levels:     analytical.LevelsFor(int(p["fanout"]), cfg.Data.NumRecords),
+				Replicated: int(p["r"]),
+				Records:    cfg.Data.NumRecords,
+			}
+			return analytical.DistAccessK(tp, int(p["segments"]), k) * p["bucket_size"], tt1
+		case hashing.Name:
+			hp := analytical.HashParams{
+				Allocated: p["Na"],
+				Colliding: p["Nc"],
+				Records:   float64(cfg.Data.NumRecords),
+			}
+			bucket := float64(res.CycleBytes) / (p["Na"] + p["Nc"])
+			return analytical.HashingAccessK(hp, k) * bucket, tt1
+		default:
+			return nan()
+		}
+	case multichannel.PolicyIndexData:
+		ic := cfg.Multi.IndexChannels
+		if ic == 0 {
+			ic = 1
+		}
+		switch cfg.Scheme {
+		case onem.Name:
+			tp := analytical.TreeParams{
+				Fanout:  int(p["fanout"]),
+				Levels:  analytical.LevelsFor(int(p["fanout"]), cfg.Data.NumRecords),
+				Records: cfg.Data.NumRecords,
+			}
+			return analytical.OneMIndexDataAccess(tp, k-ic) * p["bucket_size"], tt1
+		case dist.Name:
+			tp := analytical.TreeParams{
+				Fanout:     int(p["fanout"]),
+				Levels:     analytical.LevelsFor(int(p["fanout"]), cfg.Data.NumRecords),
+				Replicated: int(p["r"]),
+				Records:    cfg.Data.NumRecords,
+			}
+			return analytical.DistIndexDataAccess(tp, int(p["segments"]), k-ic) * p["bucket_size"], tt1
+		default:
+			return nan()
+		}
+	default:
+		return nan()
+	}
+}

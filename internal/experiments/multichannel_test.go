@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/airindex/airindex/internal/core"
+	"github.com/airindex/airindex/internal/multichannel"
+)
+
+// TestMultiK1ReproducesFigures is the subsystem's differential anchor
+// (mirrored by the CI gate): a one-channel replicated allocation with
+// zero switch cost, routed through Options like the CLI flag, reproduces
+// the existing figure tables byte for byte.
+func TestMultiK1ReproducesFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs fig4 and fig5 twice")
+	}
+	withMulti := fast
+	withMulti.Multi = multichannel.Config{Channels: 1}
+	for _, id := range []string{"fig4a", "fig5a"} {
+		base := csvBytes(t, id, fast)
+		multi := csvBytes(t, id, withMulti)
+		if !bytes.Equal(base, multi) {
+			t.Errorf("%s: K=1 replicated allocation changed the CSV bytes:\nbase:\n%s\nmulti:\n%s", id, base, multi)
+		}
+	}
+}
+
+// TestMultichSweepShapes pins the family's qualitative results: the
+// dozing schemes' access time falls with K on free switches, a nonzero
+// switch cost never improves a row, the serial schemes stay flat, and
+// tuning time stays flat in K for every scheme.
+func TestMultichSweepShapes(t *testing.T) {
+	ts, err := MultichSweep(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 || ts[0].ID != "multich-at" || ts[1].ID != "multich-tt" {
+		t.Fatalf("multich family shape wrong: %v", ts)
+	}
+	acc, tun := ts[0], ts[1]
+	last := len(acc.Rows) - 1
+
+	for _, s := range []string{"(1,m)", "distributed", "hashing"} {
+		free := col(t, acc, s+" sw0")
+		if free[last] >= 0.8*free[0] {
+			t.Errorf("%s: K=8 free-switch access %v not clearly below K=1 %v", s, free[last], free[0])
+		}
+		costly := col(t, acc, s+" sw1024")
+		for i := range free {
+			if costly[i] < free[i]*0.98 {
+				t.Errorf("%s row %d: switch cost improved access: %v < %v", s, i, costly[i], free[i])
+			}
+		}
+		tt := col(t, tun, s+" sw0")
+		for i := 1; i < len(tt); i++ {
+			if !within(tt[i], tt[0], 0.05) {
+				t.Errorf("%s: tuning not flat in K: %v", s, tt)
+			}
+		}
+	}
+	for _, s := range []string{"flat", "signature"} {
+		free := col(t, acc, s+" sw0")
+		for i := 1; i < len(free); i++ {
+			if !within(free[i], free[0], 0.05) {
+				t.Errorf("%s: serial scheme access varies with K: %v", s, free)
+			}
+		}
+	}
+}
+
+// TestMultichSweepDeterministic: the family is a pure function of
+// (Seed, Shards, allocation) — repeated runs produce identical tables.
+func TestMultichSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the multich sweep twice")
+	}
+	opt := fast
+	opt.Shards = 2
+	a, err := MultichSweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MultichSweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("repeated multich sweep differed")
+	}
+}
+
+// TestMultichAgreesWithAnalysis validates the K-channel closed forms
+// against the simulation at the same 20% tolerance the single-channel
+// curves meet: replicated allocation for all five comparison schemes at
+// K in {2,4}, and the index/data allocation for the indexed schemes.
+func TestMultichAgreesWithAnalysis(t *testing.T) {
+	nr := fast.comparisonRecords()
+	check := func(label, scheme string, mc multichannel.Config) {
+		cfg := fast.baseConfig(scheme, nr)
+		cfg.Multi = mc
+		res, err := core.RunOne(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aAt, aTt := analytic(cfg, res)
+		sAt, sTt := res.Access.Mean(), res.Tuning.Mean()
+		if !within(sAt, aAt, 0.2) {
+			t.Errorf("%s %s: access sim %.0f vs analytical %.0f beyond 20%%", label, scheme, sAt, aAt)
+		}
+		if scheme != "flat" && !within(sTt, aTt, 0.2) {
+			t.Errorf("%s %s: tuning sim %.0f vs analytical %.0f beyond 20%%", label, scheme, sTt, aTt)
+		}
+	}
+	for _, k := range []int{2, 4, 8} {
+		for _, s := range []string{"flat", "signature", "(1,m)", "distributed", "hashing"} {
+			check(fmt.Sprintf("replicated K=%d", k), s, multichannel.Config{Channels: k})
+		}
+	}
+	for _, s := range []string{"(1,m)", "distributed"} {
+		check("indexdata K=3", s, multichannel.Config{Channels: 3, Policy: multichannel.PolicyIndexData})
+	}
+}

@@ -11,8 +11,9 @@ import (
 // bucket-kind vocabularies grow:
 //
 //   - A switch over a "Kind" enum (wire.Kind, access.StepKind,
-//     faults.ModelKind — any Kind-suffixed named type declared in
-//     internal/wire, internal/access or internal/faults) must either
+//     faults.ModelKind, multichannel.PolicyKind — any Kind-suffixed named
+//     type declared in internal/wire, internal/access, internal/faults or
+//     internal/multichannel) must either
 //     list every package-level constant of
 //     that type or carry an explicit default. Go falls through switches
 //     silently, so adding KindFoo to wire without extending a switch
@@ -34,6 +35,7 @@ var kindEnumPackages = []string{
 	"internal/wire",
 	"internal/access",
 	"internal/faults",
+	"internal/multichannel",
 }
 
 func runExhaustive(pass *Pass) {

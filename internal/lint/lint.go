@@ -96,6 +96,10 @@ var simCritical = []string{
 	// confinement allowlist: injectors are plain per-shard state machines
 	// and spawn no goroutines.
 	"internal/faults",
+	// The channel-allocation layer decides which physical channel carries
+	// every bucket and when a walker hops; any nondeterminism there would
+	// desynchronize the K=1 differential gate, so it is in scope too.
+	"internal/multichannel",
 }
 
 // underAny reports whether rel is one of the given module-relative

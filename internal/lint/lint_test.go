@@ -102,6 +102,15 @@ func TestAnalyzers(t *testing.T) {
 		{"internal/faults/bad", []string{
 			"bad.go:8: determinism",
 		}},
+		// exhaustive: the channel-allocation policy enum is closed too.
+		{"internal/multichannel/badswitch", []string{
+			"badswitch.go:9: exhaustive",
+		}},
+		{"internal/multichannel/goodswitch", nil},
+		// determinism scope covers the channel-allocation layer.
+		{"internal/multichannel/bad", []string{
+			"bad.go:9: determinism",
+		}},
 		// working suppressions: trailing and preceding-line directives.
 		{"directives/ok", nil},
 		// a stack of standalone directives covers one line for several

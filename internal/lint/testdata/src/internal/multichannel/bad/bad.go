@@ -1,0 +1,10 @@
+// Package bad proves the channel-allocation layer sits inside the
+// determinism scope: an unseeded draw when picking a channel would break
+// the K=1 differential gate.
+package bad
+
+import "math/rand"
+
+func Hop(k int) int {
+	return rand.Intn(k) // line 9: global rand
+}

@@ -1,0 +1,16 @@
+// Package badswitch dispatches on the allocation-policy enum without
+// covering it; the switch is an exhaustive finding.
+package badswitch
+
+import "example.com/airlintfix/internal/multichannel"
+
+// Label misses PolicySkewed and has no default.
+func Label(p multichannel.PolicyKind) string {
+	switch p {
+	case multichannel.PolicyReplicated:
+		return "replicated"
+	case multichannel.PolicyIndexData:
+		return "indexdata"
+	}
+	return ""
+}

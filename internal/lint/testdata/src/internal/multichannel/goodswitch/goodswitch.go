@@ -1,0 +1,28 @@
+// Package goodswitch covers the allocation-policy enum: a full case list
+// and an explicit default both satisfy exhaustive.
+package goodswitch
+
+import "example.com/airlintfix/internal/multichannel"
+
+// Full lists every policy.
+func Full(p multichannel.PolicyKind) string {
+	switch p {
+	case multichannel.PolicyReplicated:
+		return "replicated"
+	case multichannel.PolicyIndexData:
+		return "indexdata"
+	case multichannel.PolicySkewed:
+		return "skewed"
+	}
+	return ""
+}
+
+// Defaulted handles the unexpected explicitly.
+func Defaulted(p multichannel.PolicyKind) string {
+	switch p {
+	case multichannel.PolicySkewed:
+		return "skewed"
+	default:
+		return "other"
+	}
+}

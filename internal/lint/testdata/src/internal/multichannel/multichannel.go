@@ -1,0 +1,13 @@
+// Package multichannel mirrors the production allocation-policy enum for
+// fixtures: exhaustive treats Kind-suffixed types from
+// internal/multichannel as closed.
+package multichannel
+
+// PolicyKind selects how the logical cycle is allocated across channels.
+type PolicyKind uint8
+
+const (
+	PolicyReplicated PolicyKind = iota
+	PolicyIndexData
+	PolicySkewed
+)

@@ -1,0 +1,398 @@
+package multichannel
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/airindex/airindex/internal/channel"
+	"github.com/airindex/airindex/internal/sim"
+	"github.com/airindex/airindex/internal/units"
+	"github.com/airindex/airindex/internal/wire"
+)
+
+// member is one physical channel: a cyclic bucket sequence (possibly the
+// shared base channel itself) broadcast with a phase shift. Local bucket p
+// starts at absolute times phase + start(p) + k·cycle for every integer k
+// — the channel has been transmitting its pattern since before time zero,
+// so occurrence queries extend the pattern in both directions.
+type member struct {
+	ch    *channel.Channel
+	phase sim.Time
+	// logical maps local bucket positions to logical cycle positions;
+	// nil means the identity (the member carries the full base cycle).
+	logical []units.BucketIndex
+}
+
+// place is one broadcast location of a logical bucket: which channel
+// carries it and at which local position.
+type place struct {
+	ch    int
+	local units.BucketIndex
+}
+
+// Set is an immutable K-channel allocation of one logical broadcast
+// cycle. All geometry queries are deterministic; ties between channels
+// resolve to the current channel first, then the lowest channel index.
+type Set struct {
+	cfg    Config
+	base   *channel.Channel
+	member []member
+	// places[i] lists where logical bucket i is broadcast, ordered by
+	// channel index.
+	places [][]place
+}
+
+// Build allocates the base cycle across cfg.Channels physical channels
+// according to cfg.Policy. The base channel is never copied or mutated —
+// replicated members share it.
+func Build(base *channel.Channel, cfg Config) (*Set, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Enabled() {
+		return nil, fmt.Errorf("multichannel: config is disabled (channels 0); the single-channel path needs no Set")
+	}
+	s := &Set{cfg: cfg, base: base}
+	var err error
+	switch cfg.Policy {
+	case PolicyReplicated:
+		err = s.buildReplicated()
+	case PolicyIndexData:
+		err = s.buildIndexData()
+	case PolicySkewed:
+		err = s.buildSkewed()
+	default:
+		err = fmt.Errorf("multichannel: unknown policy kind %d", cfg.Policy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// buildReplicated shares the base cycle across K members, phase-staggered
+// by cycle/K so any specific bucket's occurrences interleave evenly.
+func (s *Set) buildReplicated() error {
+	k := s.cfg.Channels
+	span := int64(s.base.CycleLen())
+	s.member = make([]member, k)
+	for j := range s.member {
+		s.member[j] = member{ch: s.base, phase: sim.Time(span * int64(j) / int64(k))}
+	}
+	n := int(s.base.NumBuckets())
+	s.places = make([][]place, n)
+	for i := range s.places {
+		pl := make([]place, k)
+		for j := 0; j < k; j++ {
+			pl[j] = place{ch: j, local: units.Index(i)}
+		}
+		s.places[i] = pl
+	}
+	return nil
+}
+
+// splitKinds partitions the base cycle's logical positions into the
+// non-data (index-like: index, signature, hash) and data subsequences,
+// both in logical order.
+func (s *Set) splitKinds() (idxSeq, dataSeq []units.BucketIndex) {
+	n := int(s.base.NumBuckets())
+	for i := 0; i < n; i++ {
+		li := units.Index(i)
+		if s.base.Bucket(li).Kind() == wire.KindData {
+			dataSeq = append(dataSeq, li)
+		} else {
+			idxSeq = append(idxSeq, li)
+		}
+	}
+	return idxSeq, dataSeq
+}
+
+// subChannel builds a physical cycle from a logical subsequence.
+func (s *Set) subChannel(seq []units.BucketIndex) (*channel.Channel, error) {
+	buckets := make([]channel.Bucket, len(seq))
+	for p, li := range seq {
+		buckets[p] = s.base.Bucket(li)
+	}
+	return channel.Build(buckets)
+}
+
+// addPlaces records one member's local positions into the logical
+// placement table. Members must be added in channel-index order so each
+// places[i] stays ordered by channel.
+func (s *Set) addPlaces(ch int, seq []units.BucketIndex) {
+	for p, li := range seq {
+		s.places[li] = append(s.places[li], place{ch: ch, local: units.Index(p)})
+	}
+}
+
+// buildIndexData dedicates the first indexChannels members to the index
+// buckets (the shared index cycle, phase-staggered among them) and
+// partitions the data buckets contiguously, balanced by bytes, across the
+// remaining members.
+func (s *Set) buildIndexData() error {
+	idxSeq, dataSeq := s.splitKinds()
+	ic := s.cfg.indexChannels()
+	dn := s.cfg.Channels - ic
+	if len(idxSeq) == 0 {
+		return fmt.Errorf("multichannel: indexdata needs index buckets, but scheme cycle is all data (use replicated or skewed)")
+	}
+	if len(dataSeq) == 0 {
+		return fmt.Errorf("multichannel: indexdata needs data buckets, but scheme cycle has none (use replicated)")
+	}
+	if len(dataSeq) < dn {
+		return fmt.Errorf("multichannel: %d data channels exceed %d data buckets", dn, len(dataSeq))
+	}
+	idxCh, err := s.subChannel(idxSeq)
+	if err != nil {
+		return err
+	}
+	s.places = make([][]place, int(s.base.NumBuckets()))
+	ispan := int64(idxCh.CycleLen())
+	for j := 0; j < ic; j++ {
+		s.member = append(s.member, member{
+			ch:      idxCh,
+			phase:   sim.Time(ispan * int64(j) / int64(ic)),
+			logical: idxSeq,
+		})
+		s.addPlaces(j, idxSeq)
+	}
+	weights := make([]float64, len(dataSeq))
+	for p, li := range dataSeq {
+		weights[p] = float64(s.base.SizeOf(li))
+	}
+	groups := splitContiguous(dataSeq, weights, dn)
+	for d, g := range groups {
+		ch, err := s.subChannel(g)
+		if err != nil {
+			return err
+		}
+		s.member = append(s.member, member{ch: ch, logical: g})
+		s.addPlaces(ic+d, g)
+	}
+	return nil
+}
+
+// buildSkewed partitions the data buckets contiguously across all K
+// members by Zipf probability mass over popularity rank (data-bucket
+// cycle position, rank 0 hottest — the workload's convention), so the hot
+// channel gets few buckets and a short, frequently repeating cycle. Index
+// buckets, if the scheme has any, are replicated on every member so the
+// protocol's navigation works from any channel.
+func (s *Set) buildSkewed() error {
+	idxSeq, dataSeq := s.splitKinds()
+	k := s.cfg.Channels
+	if len(dataSeq) < k {
+		return fmt.Errorf("multichannel: %d channels exceed %d data buckets for the skewed partition", k, len(dataSeq))
+	}
+	weights := make([]float64, len(dataSeq))
+	for r := range weights {
+		weights[r] = zipfWeight(r, s.cfg.Skew)
+	}
+	groups := splitContiguous(dataSeq, weights, k)
+	s.places = make([][]place, int(s.base.NumBuckets()))
+	for j, g := range groups {
+		seq := mergeLogical(idxSeq, g)
+		ch, err := s.subChannel(seq)
+		if err != nil {
+			return err
+		}
+		s.member = append(s.member, member{ch: ch, logical: seq})
+		s.addPlaces(j, seq)
+	}
+	return nil
+}
+
+// zipfWeight is the unnormalized Zipf(s) mass of rank r (0-based); s=0
+// degenerates to equal mass.
+func zipfWeight(r int, skew float64) float64 {
+	if skew == 0 {
+		return 1
+	}
+	return math.Pow(float64(r+1), -skew)
+}
+
+// splitContiguous cuts seq into parts contiguous groups whose weights are
+// as balanced as the greedy quota walk allows. Every group is non-empty:
+// the walk always takes at least one element and leaves enough for the
+// remaining groups. Deterministic in its inputs.
+func splitContiguous(seq []units.BucketIndex, weights []float64, parts int) [][]units.BucketIndex {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	groups := make([][]units.BucketIndex, 0, parts)
+	start := 0
+	cum := 0.0
+	for g := 0; g < parts; g++ {
+		quota := total * float64(g+1) / float64(parts)
+		end := start + 1 // at least one element per group
+		cum += weights[start]
+		for end < len(seq)-(parts-g-1) && cum+weights[end]/2 < quota {
+			cum += weights[end]
+			end++
+		}
+		if g == parts-1 {
+			end = len(seq)
+		}
+		groups = append(groups, seq[start:end])
+		start = end
+	}
+	return groups
+}
+
+// mergeLogical interleaves two logical-order subsequences back into one
+// logical-order sequence.
+func mergeLogical(a, b []units.BucketIndex) []units.BucketIndex {
+	out := make([]units.BucketIndex, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// --- geometry queries ------------------------------------------------
+
+// K returns the number of physical channels.
+func (s *Set) K() int { return len(s.member) }
+
+// SwitchCost returns the receiver's channel-switch cost in bytes.
+func (s *Set) SwitchCost() units.ByteCount { return s.cfg.SwitchCost }
+
+// Config returns the allocation configuration.
+func (s *Set) Config() Config { return s.cfg }
+
+// Base returns the logical broadcast cycle the allocation carries.
+func (s *Set) Base() *channel.Channel { return s.base }
+
+// NumLogical returns the number of logical buckets per cycle.
+func (s *Set) NumLogical() units.BucketCount { return s.base.NumBuckets() }
+
+// ChannelCycle returns channel j's physical cycle length in bytes.
+func (s *Set) ChannelCycle(j int) units.ByteCount { return s.member[j].ch.CycleLen() }
+
+// Logical maps a channel-local bucket position to its logical cycle
+// position.
+func (s *Set) Logical(ch int, local units.BucketIndex) units.BucketIndex {
+	m := &s.member[ch]
+	if m.logical == nil {
+		return local
+	}
+	return m.logical[local]
+}
+
+// SizeOfLocal returns the byte size of the bucket at a channel-local
+// position.
+func (s *Set) SizeOfLocal(ch int, local units.BucketIndex) units.ByteCount {
+	return s.member[ch].ch.SizeOf(local)
+}
+
+// EndGiven returns the finish time of the local bucket on channel ch when
+// its broadcast starts at the given time.
+func (s *Set) EndGiven(ch int, local units.BucketIndex, start sim.Time) sim.Time {
+	return s.member[ch].ch.EndGiven(local, start)
+}
+
+// FirstBucket returns the earliest complete bucket across all channels
+// beginning at or after t — the multichannel initial wait. The initial
+// tune is free of switch cost (the receiver is not locked to any channel
+// yet); ties go to the lowest channel index.
+func (s *Set) FirstBucket(t sim.Time) (ch int, local units.BucketIndex, start sim.Time) {
+	ch = -1
+	for j := range s.member {
+		idx, st := s.member[j].nextBucketAt(t)
+		if ch < 0 || st < start {
+			ch, local, start = j, idx, st
+		}
+	}
+	return ch, local, start
+}
+
+// NextOnChannel returns the next complete bucket on channel ch beginning
+// at or after t.
+func (s *Set) NextOnChannel(ch int, t sim.Time) (units.BucketIndex, sim.Time) {
+	return s.member[ch].nextBucketAt(t)
+}
+
+// NextCycleStartOn returns channel ch's next cycle start at or after t.
+func (s *Set) NextCycleStartOn(ch int, t sim.Time) sim.Time {
+	return s.member[ch].nextCycleStart(t)
+}
+
+// NextFeasible returns the earliest feasible broadcast of the logical
+// bucket target for a receiver on channel cur that finished reading at
+// time end: occurrences on cur qualify from end, occurrences on any other
+// channel from end plus the switch cost (the retune happens while
+// dozing). Ties prefer staying on cur, then the lowest channel index.
+func (s *Set) NextFeasible(target units.BucketIndex, end sim.Time, cur int) (ch int, local units.BucketIndex, start sim.Time) {
+	cost := s.cfg.SwitchCost.Span()
+	ch = -1
+	for _, pl := range s.places[target] {
+		earliest := end
+		if pl.ch != cur {
+			earliest = end + cost
+		}
+		t := s.member[pl.ch].nextOccurrence(pl.local, earliest)
+		better := ch < 0 || t < start || (t == start && pl.ch == cur && ch != cur)
+		if better {
+			ch, local, start = pl.ch, pl.local, t
+		}
+	}
+	return ch, local, start
+}
+
+// --- member arithmetic -----------------------------------------------
+//
+// All phase-shifted occurrence math runs on raw int64 byte-clock values
+// and re-enters sim.Time only at the boundary: the cyclic pattern extends
+// to all integers k, and phase < cycle keeps every correction within one
+// period.
+
+// nextBucketAt returns the member's next complete bucket at or after t.
+func (m *member) nextBucketAt(t sim.Time) (units.BucketIndex, sim.Time) {
+	tl := t - m.phase
+	var shift sim.Time
+	if tl < 0 {
+		p := m.ch.CycleLen().Span()
+		tl += p
+		shift = -p
+	}
+	idx, start := m.ch.NextBucketAt(tl)
+	return idx, start + m.phase + shift
+}
+
+// nextOccurrence returns the absolute start of the next broadcast of the
+// member's local bucket at or after t.
+func (m *member) nextOccurrence(local units.BucketIndex, t sim.Time) sim.Time {
+	start0 := int64(m.ch.StartInCycle(local))
+	p := int64(m.ch.CycleLen())
+	d := int64(t-m.phase) - start0
+	var k int64
+	if d > 0 {
+		k = (d + p - 1) / p
+	} else {
+		k = -((-d) / p)
+	}
+	return m.phase + sim.Time(start0+k*p)
+}
+
+// nextCycleStart returns the member's next cycle start at or after t.
+func (m *member) nextCycleStart(t sim.Time) sim.Time {
+	p := int64(m.ch.CycleLen())
+	d := int64(t - m.phase)
+	var k int64
+	if d > 0 {
+		k = (d + p - 1) / p
+	} else {
+		k = -((-d) / p)
+	}
+	return m.phase + sim.Time(k*p)
+}
