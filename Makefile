@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test test-race cover bench experiments experiments-fast faults-sweep multich-sweep examples clean
+.PHONY: all build vet lint lint-only test test-race cover bench experiments experiments-fast faults-sweep multich-sweep examples clean
 
 all: build vet lint test
 
@@ -10,10 +10,17 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project static analysis: determinism, floatcompare, confinement, and
-# //airlint:allow directive checking (see internal/lint and DESIGN.md §7).
+# Project static analysis: determinism, floatcompare, confinement,
+# unitsafety, exhaustive, mergecomplete, rngdiscipline, byteclock and
+# hotalloc, plus //airlint:allow / //airlint:hotpath directive checking
+# (see internal/lint and DESIGN.md §7).
 lint:
 	$(GO) run ./cmd/airlint ./...
+
+# One analyzer at a time, for iterating on a fix:
+#   make lint-only A=rngdiscipline
+lint-only:
+	$(GO) run ./cmd/airlint -only $(A) ./...
 
 test:
 	$(GO) test ./...

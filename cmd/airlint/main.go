@@ -1,11 +1,14 @@
 // Command airlint runs the project's static-analysis suite: the
-// determinism, floatcompare, confinement, unitsafety, and exhaustive
-// analyzers plus `//airlint:allow` directive checking (see internal/lint).
+// determinism, floatcompare, confinement, unitsafety, exhaustive,
+// mergecomplete, rngdiscipline, byteclock, and hotalloc analyzers plus
+// `//airlint:allow` / `//airlint:hotpath` directive checking (see
+// internal/lint).
 //
 // Usage:
 //
 //	airlint ./...                 # lint the whole module
 //	airlint ./internal/sim        # lint one package
+//	airlint -only rngdiscipline,hotalloc ./...  # a subset, for iteration
 //	airlint -json ./...           # one JSON object per finding
 //	airlint -list                 # describe the analyzers
 //
@@ -14,6 +17,10 @@
 // or with -json as one {"file","line","col","analyzer","message"} object
 // per line (no summary line), for machine consumers such as the CI
 // problem matcher in .github/problem-matchers/airlint.json.
+//
+// All selected packages are checked in one batch so the module-wide
+// rules see every call site at once (rngdiscipline's duplicate-label
+// check spans packages).
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"github.com/airindex/airindex/internal/lint"
 )
@@ -48,6 +56,7 @@ func run(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("airlint", flag.ContinueOnError)
 	list := fs.Bool("list", false, "describe the analyzers and exit")
 	jsonOut := fs.Bool("json", false, "emit one JSON object per finding instead of text")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all; directive checking always runs)")
 	dir := fs.String("C", ".", "change to this directory before resolving patterns")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
@@ -56,8 +65,16 @@ func run(args []string, out io.Writer) (int, error) {
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(out, "%-14s %s\n", a.Name, a.Doc)
 		}
-		fmt.Fprintf(out, "%-14s %s\n", "directive", "check //airlint:allow suppressions (unknown or unused ones are errors)")
+		fmt.Fprintf(out, "%-14s %s\n", "directive", "check //airlint:allow suppressions and //airlint:hotpath markers (unknown, unused or misplaced ones are errors)")
 		return 0, nil
+	}
+	var names []string
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
@@ -77,28 +94,35 @@ func run(args []string, out io.Writer) (int, error) {
 		return 2, fmt.Errorf("no packages match %v", patterns)
 	}
 
-	enc := json.NewEncoder(out)
-	findings := 0
+	pkgs := make([]*lint.Package, 0, len(rels))
 	for _, rel := range rels {
 		pkg, err := loader.Load(rel)
 		if err != nil {
 			return 2, err
 		}
-		for _, d := range lint.Check(pkg) {
-			findings++
-			if *jsonOut {
-				if err := enc.Encode(finding{
-					File:     d.Pos.Filename,
-					Line:     d.Pos.Line,
-					Col:      d.Pos.Column,
-					Analyzer: d.Analyzer,
-					Message:  d.Message,
-				}); err != nil {
-					return 2, err
-				}
-			} else {
-				fmt.Fprintln(out, d)
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := lint.CheckOnly(pkgs, names)
+	if err != nil {
+		return 2, err
+	}
+
+	enc := json.NewEncoder(out)
+	findings := 0
+	for _, d := range diags {
+		findings++
+		if *jsonOut {
+			if err := enc.Encode(finding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}); err != nil {
+				return 2, err
 			}
+		} else {
+			fmt.Fprintln(out, d)
 		}
 	}
 	if findings > 0 {

@@ -43,10 +43,34 @@ func TestRunListsAnalyzers(t *testing.T) {
 	if err != nil || code != 0 {
 		t.Fatalf("-list: code %d err %v", code, err)
 	}
-	for _, want := range []string{"determinism", "floatcompare", "confinement", "unitsafety", "exhaustive", "directive"} {
+	for _, want := range []string{"determinism", "floatcompare", "confinement", "unitsafety", "exhaustive", "mergecomplete", "rngdiscipline", "byteclock", "hotalloc", "directive", "hotpath"} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("-list output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+func TestRunOnlySubset(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-only", "determinism", "./cmd/airlint/testdata/dirty"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("-only determinism on dirty fixture: exit %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "[determinism]") {
+		t.Fatalf("-only determinism output missing its findings:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "[confinement]") {
+		t.Fatalf("-only determinism must drop other analyzers' findings:\n%s", out.String())
+	}
+}
+
+func TestRunOnlyUnknownName(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := run([]string{"-only", "nosuchanalyzer", "./cmd/airlint/testdata/dirty"}, &out); err == nil {
+		t.Fatal("unknown -only analyzer accepted")
 	}
 }
 

@@ -117,6 +117,8 @@ const DefaultMaxSteps = 1 << 22
 // for the next complete bucket (initial wait), reads it, and then follows
 // the client's steps until StepDone. maxSteps <= 0 selects
 // DefaultMaxSteps.
+//
+//airlint:hotpath
 func Walk(ch *channel.Channel, c Client, arrival sim.Time, maxSteps int) (Result, error) {
 	if maxSteps <= 0 {
 		maxSteps = DefaultMaxSteps
@@ -135,7 +137,7 @@ func Walk(ch *channel.Channel, c Client, arrival sim.Time, maxSteps int) (Result
 			start = end
 		case StepDoze:
 			if s.At < end {
-				return res, fmt.Errorf("access: client dozed into the past: %d < %d", s.At, end)
+				return res, fmt.Errorf("access: client dozed into the past: %d < %d", s.At, end) //airlint:allow hotalloc terminal protocol-violation path, never taken by a correct client
 			}
 			if s.Hint.InCycle(ch.NumBuckets()) && units.CycleOffset(s.At, ch.CycleLen()) == ch.StartInCycle(s.Hint) {
 				idx, start = s.Hint, s.At
@@ -147,8 +149,8 @@ func Walk(ch *channel.Channel, c Client, arrival sim.Time, maxSteps int) (Result
 			res.Found = s.Found
 			return res, nil
 		default:
-			return res, fmt.Errorf("access: invalid step kind %d", s.Kind)
+			return res, fmt.Errorf("access: invalid step kind %d", s.Kind) //airlint:allow hotalloc terminal protocol-violation path, never taken by a correct client
 		}
 	}
-	return res, fmt.Errorf("access: query exceeded %d steps without terminating", maxSteps)
+	return res, fmt.Errorf("access: query exceeded %d steps without terminating", maxSteps) //airlint:allow hotalloc terminal budget-exhaustion path, once per failed query
 }

@@ -31,9 +31,11 @@ type FaultyResult struct {
 // corrupted read in both tuning and access time. newClient must return a
 // fresh protocol state machine per restart; rnd draws uniform [0,1)
 // values.
+//
+//airlint:hotpath
 func WalkFaulty(ch *channel.Channel, newClient func() Client, arrival sim.Time, ber float64, rnd func() float64, maxSteps int) (FaultyResult, error) {
 	if ber < 0 || ber >= 1 {
-		return FaultyResult{}, fmt.Errorf("access: bit error rate %v outside [0,1)", ber)
+		return FaultyResult{}, fmt.Errorf("access: bit error rate %v outside [0,1)", ber) //airlint:allow hotalloc argument validation, once per call before the loop
 	}
 	if maxSteps <= 0 {
 		maxSteps = DefaultMaxSteps
@@ -61,7 +63,7 @@ func WalkFaulty(ch *channel.Channel, newClient func() Client, arrival sim.Time, 
 			start = end
 		case StepDoze:
 			if s.At < end {
-				return res, fmt.Errorf("access: client dozed into the past: %d < %d", s.At, end)
+				return res, fmt.Errorf("access: client dozed into the past: %d < %d", s.At, end) //airlint:allow hotalloc terminal protocol-violation path, never taken by a correct client
 			}
 			if s.Hint.InCycle(ch.NumBuckets()) && units.CycleOffset(s.At, ch.CycleLen()) == ch.StartInCycle(s.Hint) {
 				idx, start = s.Hint, s.At
@@ -73,8 +75,8 @@ func WalkFaulty(ch *channel.Channel, newClient func() Client, arrival sim.Time, 
 			res.Found = s.Found
 			return res, nil
 		default:
-			return res, fmt.Errorf("access: invalid step kind %d", s.Kind)
+			return res, fmt.Errorf("access: invalid step kind %d", s.Kind) //airlint:allow hotalloc terminal protocol-violation path, never taken by a correct client
 		}
 	}
-	return res, fmt.Errorf("access: faulty query exceeded %d steps without terminating", maxSteps)
+	return res, fmt.Errorf("access: faulty query exceeded %d steps without terminating", maxSteps) //airlint:allow hotalloc terminal budget-exhaustion path, once per failed query
 }

@@ -43,8 +43,10 @@ type MultiResult struct {
 // With one channel under PolicyReplicated and zero switch cost every
 // query reproduces Walk byte for byte (the K=1 identity guarantee; see
 // DESIGN.md §8).
+//
+//airlint:hotpath
 func WalkMulti(set *multichannel.Set, c Client, arrival sim.Time, maxSteps int) (MultiResult, error) {
-	return walkMulti(set, func() Client { return c }, arrival, nil, RecoverPolicy{}, maxSteps)
+	return walkMulti(set, func() Client { return c }, arrival, nil, RecoverPolicy{}, maxSteps) //airlint:allow hotalloc one adapter closure per query at setup, not per step
 }
 
 // WalkRecoverMulti is WalkMulti over an unreliable channel: the same
@@ -54,10 +56,13 @@ func WalkMulti(set *multichannel.Set, c Client, arrival sim.Time, maxSteps int) 
 // client re-tunes in place (RecoverPolicy.NextCycle waits for the current
 // channel's next cycle start). newClient must return a fresh protocol
 // state machine per restart; inj may be nil for a perfect channel.
+//
+//airlint:hotpath
 func WalkRecoverMulti(set *multichannel.Set, newClient func() Client, arrival sim.Time, inj Corrupter, pol RecoverPolicy, maxSteps int) (MultiResult, error) {
 	return walkMulti(set, newClient, arrival, inj, pol, maxSteps)
 }
 
+//airlint:hotpath
 func walkMulti(set *multichannel.Set, newClient func() Client, arrival sim.Time, inj Corrupter, pol RecoverPolicy, maxSteps int) (MultiResult, error) {
 	if maxSteps <= 0 {
 		maxSteps = DefaultMaxSteps
@@ -107,7 +112,7 @@ func walkMulti(set *multichannel.Set, newClient func() Client, arrival sim.Time,
 			local, start = l, at
 		case StepDoze:
 			if s.At < end {
-				return res, fmt.Errorf("access: client dozed into the past: %d < %d", s.At, end)
+				return res, fmt.Errorf("access: client dozed into the past: %d < %d", s.At, end) //airlint:allow hotalloc terminal protocol-violation path, never taken by a correct client
 			}
 			if s.Hint.InCycle(n) {
 				ch, l, at := set.NextFeasible(s.Hint, end, cur)
@@ -125,11 +130,11 @@ func walkMulti(set *multichannel.Set, newClient func() Client, arrival sim.Time,
 			res.Found = s.Found
 			return res, nil
 		default:
-			return res, fmt.Errorf("access: invalid step kind %d", s.Kind)
+			return res, fmt.Errorf("access: invalid step kind %d", s.Kind) //airlint:allow hotalloc terminal protocol-violation path, never taken by a correct client
 		}
 	}
 	if inj != nil && pol.MaxRetries <= 0 {
-		return res, fmt.Errorf("access: recovering multichannel query exceeded %d steps without terminating (unbounded retries; bound RecoverPolicy.MaxRetries — at this error rate the scheme cannot complete a clean pass)", maxSteps)
+		return res, fmt.Errorf("access: recovering multichannel query exceeded %d steps without terminating (unbounded retries; bound RecoverPolicy.MaxRetries — at this error rate the scheme cannot complete a clean pass)", maxSteps) //airlint:allow hotalloc terminal budget-exhaustion path, once per failed query
 	}
-	return res, fmt.Errorf("access: multichannel query exceeded %d steps without terminating", maxSteps)
+	return res, fmt.Errorf("access: multichannel query exceeded %d steps without terminating", maxSteps) //airlint:allow hotalloc terminal budget-exhaustion path, once per failed query
 }

@@ -49,6 +49,8 @@ type RecoverPolicy struct {
 // position the policy selects. newClient must return a fresh protocol
 // state machine per restart. inj may be nil for a perfect channel, in
 // which case WalkRecover behaves exactly like Walk.
+//
+//airlint:hotpath
 func WalkRecover(ch *channel.Channel, newClient func() Client, arrival sim.Time, inj Corrupter, pol RecoverPolicy, maxSteps int) (FaultyResult, error) {
 	if maxSteps <= 0 {
 		maxSteps = DefaultMaxSteps
@@ -89,7 +91,7 @@ func WalkRecover(ch *channel.Channel, newClient func() Client, arrival sim.Time,
 			start = end
 		case StepDoze:
 			if s.At < end {
-				return res, fmt.Errorf("access: client dozed into the past: %d < %d", s.At, end)
+				return res, fmt.Errorf("access: client dozed into the past: %d < %d", s.At, end) //airlint:allow hotalloc terminal protocol-violation path, never taken by a correct client
 			}
 			if s.Hint.InCycle(ch.NumBuckets()) && units.CycleOffset(s.At, ch.CycleLen()) == ch.StartInCycle(s.Hint) {
 				idx, start = s.Hint, s.At
@@ -101,11 +103,11 @@ func WalkRecover(ch *channel.Channel, newClient func() Client, arrival sim.Time,
 			res.Found = s.Found
 			return res, nil
 		default:
-			return res, fmt.Errorf("access: invalid step kind %d", s.Kind)
+			return res, fmt.Errorf("access: invalid step kind %d", s.Kind) //airlint:allow hotalloc terminal protocol-violation path, never taken by a correct client
 		}
 	}
 	if pol.MaxRetries <= 0 {
-		return res, fmt.Errorf("access: recovering query exceeded %d steps without terminating (unbounded retries; bound RecoverPolicy.MaxRetries — at this error rate the scheme cannot complete a clean pass)", maxSteps)
+		return res, fmt.Errorf("access: recovering query exceeded %d steps without terminating (unbounded retries; bound RecoverPolicy.MaxRetries — at this error rate the scheme cannot complete a clean pass)", maxSteps) //airlint:allow hotalloc terminal budget-exhaustion path, once per failed query
 	}
-	return res, fmt.Errorf("access: recovering query exceeded %d steps without terminating", maxSteps)
+	return res, fmt.Errorf("access: recovering query exceeded %d steps without terminating", maxSteps) //airlint:allow hotalloc terminal budget-exhaustion path, once per failed query
 }

@@ -58,7 +58,7 @@ func NewBytes(ch *channel.Channel) *Bytes {
 // Of returns bucket i's encoded bytes.
 func (e *Bytes) Of(i units.BucketIndex) []byte {
 	if e.cache[i] == nil {
-		e.cache[i] = e.ch.Bucket(i).Encode()
+		e.cache[i] = e.ch.Bucket(i).Encode() //airlint:allow byteclock memoized decode of the bucket the caller was just charged for via OnBucket
 	}
 	return e.cache[i]
 }

@@ -94,9 +94,11 @@ func (s *Simulator) newShardRunner(i, n int) *shardRunner {
 // a one-shard run consumes the RNG stream identically. At a round
 // boundary it schedules the next arrival and then stops the loop, leaving
 // the pending arrival queued for the next wave.
+//
+//airlint:hotpath
 func (s *Simulator) shardArrival(sh *shardRunner) func(*sim.Simulator) {
 	var arrive func(*sim.Simulator)
-	arrive = func(eng *sim.Simulator) {
+	arrive = func(eng *sim.Simulator) { //airlint:allow hotalloc one arrival closure per shard, allocated at setup and reused every event
 		key := s.pickKey(sh.rng, sh.zipf)
 		r, err := s.runRequest(sh.rng, sh.inj, key, eng.Now())
 		if err != nil {

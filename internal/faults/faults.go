@@ -265,6 +265,8 @@ const (
 )
 
 // mix64 is the SplitMix64 output finalizer.
+//
+//airlint:hotpath
 func mix64(x uint64) uint64 {
 	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
 	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
@@ -276,6 +278,8 @@ func mix64(x uint64) uint64 {
 // corruption decision, draw 2 the per-request initial state; sharing draw
 // 1 across models and rates couples sweeps (a read corrupted at rate p is
 // still corrupted at every rate above p).
+//
+//airlint:hotpath
 func (in *Injector) uniform(probe, draw uint64) float64 {
 	x := in.base + in.req*gammaReq + probe*gammaProbe + draw*gammaDraw
 	return float64(mix64(x)>>11) / (1 << 53)
@@ -285,6 +289,8 @@ func (in *Injector) uniform(probe, draw uint64) float64 {
 // The Gilbert–Elliott state is drawn fresh from the chain's stationary
 // distribution: requests resolve independently in the simulator, so each
 // carries its own burst process (DESIGN.md §7).
+//
+//airlint:hotpath
 func (in *Injector) StartRequest() {
 	in.req++
 	if in.cfg.Model != ModelGilbertElliott {
@@ -317,6 +323,8 @@ func (in *Injector) MangleCopy(probe int, frame []byte) []byte {
 // Corrupt decides whether the probe-th bucket read of the current request
 // (of the given encoded size) reached the receiver unusable. probe counts
 // from 0 within the request.
+//
+//airlint:hotpath
 func (in *Injector) Corrupt(probe int, size units.ByteCount) bool {
 	p := uint64(probe)
 	switch in.cfg.Model {

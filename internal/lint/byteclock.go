@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ByteClockAnalyzer enforces the byte-clock accounting contract: the two
+// headline metrics are byte counts, so inside the walker layers every
+// broadcast-image byte a client consumes must first have been charged to
+// access/tuning through the clock-charging channel APIs (Channel.SizeOf,
+// units.Elapsed). Three bypasses are flagged in internal/access,
+// internal/airborne and internal/multichannel:
+//
+//   - calling a bucket's Encode() — decoding image bytes outside the
+//     sanctioned accessor reads bytes the clock never charged (the one
+//     legitimate site, the memoized airborne.Bytes.Of, carries an
+//     explicit allow);
+//   - touching the `cache` field of a Bytes decode cache from anything
+//     but a Bytes method — reaching into the cache skips the accessor's
+//     charge-before-read discipline;
+//   - calling Bytes.Of with anything but the enclosing function's own
+//     bucket-index parameter — the index handed to OnBucket names the
+//     bucket that was just read and charged; decoding any other bucket
+//     reads bytes off the air for free.
+var ByteClockAnalyzer = &Analyzer{
+	Name: "byteclock",
+	Doc:  "broadcast-image bytes may only be consumed through the clock-charging channel APIs",
+	Run:  runByteClock,
+}
+
+// byteClockScope: the layers that consume broadcast-image bytes on
+// behalf of clients. Schemes build images; these walk them.
+var byteClockScope = []string{
+	"internal/access",
+	"internal/airborne",
+	"internal/multichannel",
+}
+
+func runByteClock(pass *Pass) {
+	if !underAny(pass.RelPath, byteClockScope) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkByteClockFunc(pass, fd)
+		}
+	}
+}
+
+// isEncodeMethod matches a niladic Encode() returning []byte — the
+// bucket-to-bytes codec entry point every scheme implements.
+func isEncodeMethod(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != "Encode" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	sl, ok := sig.Results().At(0).Type().Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// isBytesType matches the decode-cache carrier: a named struct called
+// Bytes with a `cache` field (airborne.Bytes in production; fixtures
+// mirror the shape).
+func isBytesType(t types.Type) bool {
+	named := derefNamed(t)
+	if named == nil || named.Obj().Name() != "Bytes" {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "cache" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkByteClockFunc walks one function body. For the Of-argument rule
+// it tracks the current function's parameters (descending into closures
+// with their own parameter sets), because "the index the caller was
+// charged for" is precisely the enclosing function's bucket-index
+// parameter.
+func checkByteClockFunc(pass *Pass, fd *ast.FuncDecl) {
+	bytesMethod := fd.Recv != nil && len(fd.Recv.List) == 1 && isBytesType(pass.Info.Types[fd.Recv.List[0].Type].Type)
+
+	var walk func(n ast.Node, params map[types.Object]bool)
+	walk = func(body ast.Node, params map[types.Object]bool) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				walk(n.Body, paramObjects(pass, n.Type))
+				return false
+			case *ast.SelectorExpr:
+				selection, ok := pass.Info.Selections[n]
+				if ok && selection.Kind() == types.FieldVal && selection.Obj().Name() == "cache" &&
+					isBytesType(selection.Recv()) && !bytesMethod {
+					pass.Reportf(n.Sel.Pos(),
+						"direct read of the Bytes decode cache bypasses the accessor's charge-before-read discipline; go through Of")
+				}
+			case *ast.CallExpr:
+				sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := pass.Info.Uses[sel.Sel]
+				if isEncodeMethod(obj) {
+					pass.Reportf(n.Pos(),
+						"Encode() decodes broadcast-image bytes outside the clock-charging path; bytes must be charged to access/tuning through the channel APIs before they are read")
+				}
+				if fn, ok := obj.(*types.Func); ok && fn.Name() == "Of" {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && isBytesType(sig.Recv().Type()) && len(n.Args) == 1 {
+						if id, ok := ast.Unparen(n.Args[0]).(*ast.Ident); !ok || !params[pass.Info.Uses[id]] {
+							pass.Reportf(n.Args[0].Pos(),
+								"Bytes.Of must be passed the enclosing callback's bucket-index parameter — the bucket that was just read and charged; decoding any other bucket reads bytes the clock never accounted")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(fd.Body, paramObjects(pass, fd.Type))
+}
+
+// paramObjects collects the declared parameter objects of a function
+// type (the identities the Of-argument rule accepts).
+func paramObjects(pass *Pass, ft *ast.FuncType) map[types.Object]bool {
+	params := make(map[types.Object]bool)
+	if ft.Params == nil {
+		return params
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.Info.Defs[name]; obj != nil {
+				params[obj] = true
+			}
+		}
+	}
+	return params
+}

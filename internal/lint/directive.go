@@ -9,19 +9,49 @@ import (
 	"strings"
 )
 
-// directivePrefix introduces a suppression comment:
+// directiveNamespace introduces every airlint comment directive. Two
+// verbs exist:
 //
 //	//airlint:allow <analyzer> <reason>
+//	//airlint:hotpath
 //
-// It silences <analyzer> diagnostics on the same line (trailing comment)
-// or on the line directly below (standalone comment). Standalone
-// directives stack: a run of consecutive directive-only lines all apply
-// to the first code line beneath them, so one statement can carry
-// suppressions for several analyzers. The reason is mandatory — a
+// allow silences <analyzer> diagnostics on the same line (trailing
+// comment) or on the line directly below (standalone comment).
+// Standalone directives stack: a run of consecutive directive-only lines
+// all apply to the first code line beneath them, so one statement can
+// carry suppressions for several analyzers. The reason is mandatory — a
 // suppression without justification is itself an error — and so is being
 // useful: a suppression that matches no diagnostic is reported, so stale
 // allowances cannot accumulate.
-const directivePrefix = "//airlint:allow"
+//
+// hotpath is not a suppression but a function-scoped marker: placed in a
+// function declaration's doc comment it opts the function into the
+// hotalloc analyzer's allocation-freedom check. It takes no arguments; a
+// marker outside a function doc comment is an error (it would silently
+// check nothing). An unknown verb after "airlint:" is also an error, so
+// a typo cannot turn a directive into an ordinary comment.
+const directiveNamespace = "//airlint:"
+
+const (
+	allowVerb   = "allow"
+	hotpathVerb = "hotpath"
+)
+
+// hotpathMarked reports whether fd's doc comment carries the
+// airlint:hotpath marker. Shared by the hotalloc analyzer (which checks
+// marked functions) and the directive engine (which validates marker
+// placement).
+func hotpathMarked(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == directiveNamespace+hotpathVerb {
+			return true
+		}
+	}
+	return false
+}
 
 // generatedRx is the standard generated-file marker (go.dev/s/generatedcode).
 // Files carrying it before the package clause are machine output: airlint
@@ -53,11 +83,14 @@ func isGenerated(fset *token.FileSet, f *ast.File) bool {
 }
 
 // applyDirectives filters diags through the package's //airlint:allow
-// comments and appends any directive errors (unknown analyzer, missing
-// reason, unused suppression) as "directive" diagnostics. Generated
-// files are exempt: their diagnostics are dropped and their directives
-// ignored.
-func applyDirectives(pkg *Package, diags []Diagnostic) []Diagnostic {
+// comments and appends any directive errors (unknown verb, unknown
+// analyzer, missing reason, unused suppression, misplaced hotpath
+// marker) as "directive" diagnostics. active names the analyzers that
+// actually ran: an allow for a known analyzer that was deselected (via
+// -only) is ignored rather than reported unused, so a partial run never
+// demands directive edits. Generated files are exempt: their diagnostics
+// are dropped and their directives ignored.
+func applyDirectives(pkg *Package, diags []Diagnostic, active map[string]bool) []Diagnostic {
 	known := make(map[string]bool)
 	for _, a := range Analyzers() {
 		known[a.Name] = true
@@ -71,8 +104,11 @@ func applyDirectives(pkg *Package, diags []Diagnostic) []Diagnostic {
 	generated := make(map[string]bool)
 	// codeLines[file] holds every line on which a non-comment token
 	// appears; a directive on a line with no code is "standalone" and
-	// participates in stacking.
+	// participates in stacking. docComments holds every comment that is
+	// part of some function declaration's doc group — the only place a
+	// hotpath marker is meaningful.
 	codeLines := make(map[string]map[int]bool)
+	docComments := make(map[*ast.Comment]bool)
 	for _, f := range pkg.Files {
 		filename := pkg.Fset.Position(f.Pos()).Filename
 		if isGenerated(pkg.Fset, f) {
@@ -91,6 +127,13 @@ func applyDirectives(pkg *Package, diags []Diagnostic) []Diagnostic {
 			return true
 		})
 		codeLines[filename] = lines
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					docComments[c] = true
+				}
+			}
+		}
 	}
 
 	var dirs []*directive
@@ -103,33 +146,59 @@ func applyDirectives(pkg *Package, diags []Diagnostic) []Diagnostic {
 		}
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				rest, ok := strings.CutPrefix(c.Text, directiveNamespace)
 				if !ok {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				fields := strings.Fields(rest)
-				if len(fields) == 0 {
+				verb := ""
+				if len(fields) > 0 {
+					verb = fields[0]
+				}
+				switch verb {
+				case hotpathVerb:
+					if len(fields) > 1 {
+						errs = append(errs, Diagnostic{Pos: pos, Analyzer: "directive",
+							Message: "//airlint:hotpath takes no arguments (it marks the whole function; suppress individual findings with //airlint:allow hotalloc <reason>)"})
+						continue
+					}
+					if !docComments[c] {
+						errs = append(errs, Diagnostic{Pos: pos, Analyzer: "directive",
+							Message: "misplaced //airlint:hotpath: the marker must sit in a function declaration's doc comment, where it opts that function into the hotalloc check"})
+					}
+				case allowVerb:
+					args := fields[1:]
+					if len(args) == 0 {
+						errs = append(errs, Diagnostic{Pos: pos, Analyzer: "directive",
+							Message: "malformed //airlint:allow: want \"//airlint:allow <analyzer> <reason>\""})
+						continue
+					}
+					if !known[args[0]] {
+						errs = append(errs, Diagnostic{Pos: pos, Analyzer: "directive",
+							Message: fmt.Sprintf("unknown analyzer %q in //airlint:allow (known: %s)", args[0], strings.Join(names, ", "))})
+						continue
+					}
+					if len(args) < 2 {
+						errs = append(errs, Diagnostic{Pos: pos, Analyzer: "directive",
+							Message: "//airlint:allow " + args[0] + " needs a reason"})
+						continue
+					}
+					if !active[args[0]] {
+						// The analyzer was deselected for this run; the
+						// suppression can be neither used nor stale.
+						continue
+					}
+					d := &directive{pos: pos, analyzer: args[0], reason: strings.Join(args[1:], " ")}
+					dirs = append(dirs, d)
+					if byLine[pos.Filename] == nil {
+						byLine[pos.Filename] = make(map[int][]*directive)
+					}
+					byLine[pos.Filename][pos.Line] = append(byLine[pos.Filename][pos.Line], d)
+				default:
 					errs = append(errs, Diagnostic{Pos: pos, Analyzer: "directive",
-						Message: "malformed //airlint:allow: want \"//airlint:allow <analyzer> <reason>\""})
-					continue
+						Message: fmt.Sprintf("unknown airlint directive %q (known: %s, %s)", verb, allowVerb, hotpathVerb)})
 				}
-				if !known[fields[0]] {
-					errs = append(errs, Diagnostic{Pos: pos, Analyzer: "directive",
-						Message: fmt.Sprintf("unknown analyzer %q in //airlint:allow (known: %s)", fields[0], strings.Join(names, ", "))})
-					continue
-				}
-				if len(fields) < 2 {
-					errs = append(errs, Diagnostic{Pos: pos, Analyzer: "directive",
-						Message: "//airlint:allow " + fields[0] + " needs a reason"})
-					continue
-				}
-				d := &directive{pos: pos, analyzer: fields[0], reason: strings.Join(fields[1:], " ")}
-				dirs = append(dirs, d)
-				if byLine[pos.Filename] == nil {
-					byLine[pos.Filename] = make(map[int][]*directive)
-				}
-				byLine[pos.Filename][pos.Line] = append(byLine[pos.Filename][pos.Line], d)
 			}
 		}
 	}

@@ -15,10 +15,25 @@
 //   - exhaustive: switches over bucket/step kinds must cover every
 //     constant, and scheme-name dispatches must carry a default
 //     (see exhaustive.go);
-//   - directive: `//airlint:allow <analyzer> <reason>` suppressions,
-//     with unknown or unused suppressions reported as errors; files
-//     carrying a standard "Code generated ... DO NOT EDIT." header are
-//     exempt from analysis (see directive.go).
+//   - mergecomplete: every counter/statistic field of a merged result
+//     struct must be combined in its Merge/merge function, so a new
+//     metric cannot be silently dropped at the shard barrier
+//     (see mergecomplete.go);
+//   - rngdiscipline: randomness in simulation-critical packages derives
+//     from sim.NewRNG/NewShardRNG/StreamSeed, and StreamSeed labels are
+//     distinct compile-time string literals (see rngdiscipline.go);
+//   - byteclock: broadcast-image bytes are consumed only through the
+//     clock-charging channel APIs — no decoding or cache reads that
+//     bypass access/tuning accounting (see byteclock.go);
+//   - hotalloc: functions marked `//airlint:hotpath` must be
+//     allocation-free at the AST level: no closures, interface boxing,
+//     map/slice literals, append, fmt, or string concatenation
+//     (see hotalloc.go);
+//   - directive: `//airlint:allow <analyzer> <reason>` suppressions and
+//     the `//airlint:hotpath` marker, with unknown verbs, unknown
+//     analyzers, unused suppressions and misplaced markers reported as
+//     errors; files carrying a standard "Code generated ... DO NOT
+//     EDIT." header are exempt from analysis (see directive.go).
 //
 // Everything is built on the standard library only (go/ast, go/parser,
 // go/token, go/types); there are no module dependencies.
@@ -115,29 +130,90 @@ func underAny(rel string, dirs []string) bool {
 
 // Analyzers returns the full airlint suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DeterminismAnalyzer, FloatCompareAnalyzer, ConfinementAnalyzer, UnitSafetyAnalyzer, ExhaustiveAnalyzer}
+	return []*Analyzer{
+		DeterminismAnalyzer, FloatCompareAnalyzer, ConfinementAnalyzer,
+		UnitSafetyAnalyzer, ExhaustiveAnalyzer,
+		MergeCompleteAnalyzer, RNGDisciplineAnalyzer, ByteClockAnalyzer, HotAllocAnalyzer,
+	}
 }
 
-// Check runs every analyzer over the package, applies `//airlint:allow`
-// suppressions, and returns the surviving diagnostics sorted by position.
-// Directive errors (unknown analyzer, missing reason, unused suppression)
-// are returned as diagnostics of the "directive" analyzer.
+// Check runs every analyzer over one package; see CheckAll.
 func Check(pkg *Package) []Diagnostic {
-	var raw []Diagnostic
-	for _, a := range Analyzers() {
-		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			RelPath:  pkg.RelPath,
-			RelFile:  pkg.RelFile,
-			diags:    &raw,
-		}
-		a.Run(pass)
+	return CheckAll([]*Package{pkg})
+}
+
+// CheckAll runs every analyzer over the packages, applies
+// `//airlint:allow` suppressions, and returns the surviving diagnostics
+// sorted by position. Directive errors (unknown verb or analyzer,
+// missing reason, unused suppression, misplaced hotpath marker) are
+// returned as diagnostics of the "directive" analyzer. Checking all
+// packages in one call matters for the module-wide rules: rngdiscipline
+// detects duplicate StreamSeed labels across packages only when it can
+// see every call site.
+func CheckAll(pkgs []*Package) []Diagnostic {
+	diags, err := CheckOnly(pkgs, nil)
+	if err != nil {
+		// nil analyzer selection cannot name an unknown analyzer.
+		panic(err)
 	}
-	diags := applyDirectives(pkg, raw)
+	return diags
+}
+
+// CheckOnly is CheckAll restricted to the named analyzers (all of them
+// when only is empty). Directive checking always runs, but allow
+// directives for deselected analyzers are ignored rather than reported
+// unused. An unknown analyzer name is an error.
+func CheckOnly(pkgs []*Package, only []string) ([]Diagnostic, error) {
+	known := make(map[string]bool)
+	var names []string
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	active := make(map[string]bool)
+	if len(only) == 0 {
+		active = known
+	} else {
+		for _, n := range only {
+			if !known[n] {
+				return nil, fmt.Errorf("lint: unknown analyzer %q (known: %s)", n, strings.Join(names, ", "))
+			}
+			active[n] = true
+		}
+	}
+
+	raws := make([][]Diagnostic, len(pkgs))
+	for i, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range Analyzers() {
+			if !active[a.Name] {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				RelPath:  pkg.RelPath,
+				RelFile:  pkg.RelFile,
+				diags:    &raw,
+			}
+			a.Run(pass)
+		}
+		raws[i] = raw
+	}
+	if active[RNGDisciplineAnalyzer.Name] {
+		for i, extra := range streamSeedDuplicates(pkgs) {
+			raws[i] = append(raws[i], extra...)
+		}
+	}
+
+	var diags []Diagnostic
+	for i, pkg := range pkgs {
+		diags = append(diags, applyDirectives(pkg, raws[i], active)...)
+	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -151,5 +227,5 @@ func Check(pkg *Package) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
+	return diags, nil
 }

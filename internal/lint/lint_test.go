@@ -111,6 +111,72 @@ func TestAnalyzers(t *testing.T) {
 		{"internal/multichannel/bad", []string{
 			"bad.go:9: determinism",
 		}},
+		// mergecomplete: a shard fold that drops exactly one counter.
+		{"internal/core/badmerge", []string{
+			"badmerge.go:20: mergecomplete",
+		}},
+		// mergecomplete negatives: +=, composite keys, Add-method fields.
+		{"internal/core/goodmerge", nil},
+		// mergecomplete: a pairwise Merge that never reads one field.
+		{"internal/stats/badmerge", []string{
+			"badmerge.go:13: mergecomplete",
+		}},
+		// mergecomplete negative: whole-value copy inside a traced helper.
+		{"internal/stats/goodmerge", nil},
+		// rngdiscipline: direct construction, computed label, empty label,
+		// intra-package duplicate label.
+		{"internal/faults/rngbad", []string{
+			"rngbad.go:14: rngdiscipline",
+			"rngbad.go:15: rngdiscipline",
+			"rngbad.go:16: rngdiscipline",
+			"rngbad.go:18: rngdiscipline",
+		}},
+		// rngdiscipline negatives: sanctioned constructors, distinct labels.
+		{"internal/faults/rnggood", nil},
+		// a cross-package duplicate label is invisible to a one-package
+		// check; TestStreamSeedDuplicatesAcrossPackages batches it.
+		{"internal/multichannel/rngdup", nil},
+		// the fixture bucket codec itself sits outside byteclock's scope.
+		{"internal/channel", nil},
+		// byteclock: Encode outside the accessor, direct cache read,
+		// Of with a non-parameter index.
+		{"internal/airborne/bad", []string{
+			"bad.go:25: byteclock",
+			"bad.go:30: byteclock",
+			"bad.go:35: byteclock",
+		}},
+		// byteclock negatives: accessor methods, parameter-indexed Of,
+		// closures with their own parameter sets.
+		{"internal/airborne/good", nil},
+		// hotalloc: every allocating construct in a marked walker (line 18
+		// carries both the concatenation and the fmt call).
+		{"internal/schemes/hotbad", []string{
+			"hotbad.go:12: hotalloc",
+			"hotbad.go:13: hotalloc",
+			"hotbad.go:14: hotalloc",
+			"hotbad.go:15: hotalloc",
+			"hotbad.go:16: hotalloc",
+			"hotbad.go:17: hotalloc",
+			"hotbad.go:18: hotalloc",
+			"hotbad.go:18: hotalloc",
+			"hotbad.go:19: hotalloc",
+		}},
+		// hotalloc negatives: allocation-free marked walker, unmarked
+		// builder allocating freely.
+		{"internal/schemes/hotgood", nil},
+		// a hotpath marker outside a function doc comment is an error.
+		{"directives/hotorphan", []string{
+			"hotorphan.go:6: directive",
+		}},
+		// an unknown directive verb is an error.
+		{"directives/badverb", []string{
+			"badverb.go:4: directive",
+		}},
+		// hotpath stacks with allow: the used allow silences hotalloc, the
+		// stale one is flagged.
+		{"directives/hotstacked", []string{
+			"hotstacked.go:17: directive",
+		}},
 		// working suppressions: trailing and preceding-line directives.
 		{"directives/ok", nil},
 		// a stack of standalone directives covers one line for several
@@ -184,10 +250,88 @@ func TestUnknownDirectiveListsKnownAnalyzers(t *testing.T) {
 	if dirDiag == nil {
 		t.Fatal("no directive diagnostic reported")
 	}
-	for _, name := range []string{"determinism", "floatcompare", "confinement", "unitsafety", "exhaustive"} {
+	for _, name := range []string{"determinism", "floatcompare", "confinement", "unitsafety", "exhaustive", "mergecomplete", "rngdiscipline", "byteclock", "hotalloc"} {
 		if !strings.Contains(dirDiag.Message, name) {
 			t.Errorf("unknown-directive message %q does not list analyzer %q", dirDiag.Message, name)
 		}
+	}
+}
+
+// TestMergeCompleteNamesField pins the acceptance contract: deleting one
+// counter's merge line must produce a finding that names that counter.
+func TestMergeCompleteNamesField(t *testing.T) {
+	pkg, err := fixtureLoader.Load("internal/core/badmerge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Check(pkg)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "Switches") {
+		t.Errorf("mergecomplete message %q does not name the dropped field Switches", diags[0].Message)
+	}
+}
+
+// TestStreamSeedDuplicatesAcrossPackages batches two packages whose
+// StreamSeed labels collide; neither is flagged alone.
+func TestStreamSeedDuplicatesAcrossPackages(t *testing.T) {
+	good, err := fixtureLoader.Load("internal/faults/rnggood")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup, err := fixtureLoader.Load("internal/multichannel/rngdup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := CheckAll([]*Package{good, dup})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "rngdiscipline" || filepath.Base(d.Pos.Filename) != "rngdup.go" {
+		t.Errorf("duplicate label reported as %v, want rngdiscipline in rngdup.go", d)
+	}
+	if !strings.Contains(d.Message, `"faults"`) || !strings.Contains(d.Message, "rnggood.go") {
+		t.Errorf("duplicate-label message %q should name the label and the first site", d.Message)
+	}
+}
+
+// TestCheckOnlySubset runs a single analyzer and verifies other
+// analyzers' findings and their allows both go quiet.
+func TestCheckOnlySubset(t *testing.T) {
+	pkg, err := fixtureLoader.Load("internal/schemes/hotbad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := CheckOnly([]*Package{pkg}, []string{"determinism"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("determinism-only run of hotbad reported %v, want none", diags)
+	}
+	diags, err = CheckOnly([]*Package{pkg}, []string{"hotalloc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 9 {
+		t.Errorf("hotalloc-only run of hotbad reported %d findings, want 9: %v", len(diags), diags)
+	}
+}
+
+// TestCheckOnlyUnknownName rejects misspelled analyzer selections.
+func TestCheckOnlyUnknownName(t *testing.T) {
+	pkg, err := fixtureLoader.Load("other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = CheckOnly([]*Package{pkg}, []string{"hotallocs"})
+	if err == nil {
+		t.Fatal("CheckOnly accepted an unknown analyzer name")
+	}
+	if !strings.Contains(err.Error(), "hotallocs") || !strings.Contains(err.Error(), "hotalloc") {
+		t.Errorf("error %q should name the bad selection and list known analyzers", err)
 	}
 }
 

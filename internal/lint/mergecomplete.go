@@ -1,0 +1,334 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// MergeCompleteAnalyzer enforces the shard-merge contract of DESIGN.md
+// §7: a Result is a pure function of (seed, shards) only if every
+// accumulator a shard fills is folded into the merged value. PRs 3–5
+// each threaded new core.Result counters (Restarts, Switches,
+// SwitchWaitBytes, ...) through mergeShards by hand; forgetting one line
+// there silently zeroes the metric without failing any tier-1 test. The
+// analyzer checks two shapes in simulation-critical packages:
+//
+//   - pairwise merges — a method `func (x *T) Merge(o *T)` on a local
+//     struct must read every field of o, directly, via a whole-value
+//     copy (*x = *o), or transitively through a same-package callee
+//     that receives o;
+//   - fold merges — a function whose name contains "merge" and returns
+//     a local struct must write every accumulator field of the result
+//     (numeric fields and fields whose type has a Merge/Add method);
+//     identity fields (strings, bools, maps) are configuration, not
+//     accumulation, and are exempt.
+var MergeCompleteAnalyzer = &Analyzer{
+	Name: "mergecomplete",
+	Doc:  "every counter/statistic field of a merged result struct must be combined in its Merge/merge function",
+	Run:  runMergeComplete,
+}
+
+func runMergeComplete(pass *Pass) {
+	if !underAny(pass.RelPath, simCritical) {
+		return
+	}
+	// decls indexes the package's own function bodies so argument reads
+	// can be traced through same-package helpers (Quantile.Merge reads
+	// most of its argument inside copyFrom and mergeInitialized).
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if named, st, param := pairwiseMergeShape(pass, fd); named != nil {
+				checkPairwiseMerge(pass, fd, named, st, param, decls)
+				continue
+			}
+			if !strings.Contains(strings.ToLower(fd.Name.Name), "merge") {
+				continue
+			}
+			if named, st := mergedResultType(pass, fd); named != nil {
+				checkFoldMerge(pass, fd, named, st)
+			}
+		}
+	}
+}
+
+// pairwiseMergeShape matches `func (x *T) Merge(o *T)` for a struct T
+// declared in this package and returns T and o's object (nil when the
+// parameter is unnamed — then nothing can be read from it).
+func pairwiseMergeShape(pass *Pass, fd *ast.FuncDecl) (*types.Named, *types.Struct, types.Object) {
+	if fd.Recv == nil || fd.Name.Name != "Merge" {
+		return nil, nil, nil
+	}
+	obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil, nil, nil
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Params().Len() != 1 || sig.Results().Len() != 0 {
+		return nil, nil, nil
+	}
+	recv := derefNamed(sig.Recv().Type())
+	arg := derefNamed(sig.Params().At(0).Type())
+	if recv == nil || arg == nil || recv.Obj() != arg.Obj() || recv.Obj().Pkg() != pass.Pkg {
+		return nil, nil, nil
+	}
+	st, ok := recv.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil, nil
+	}
+	var param types.Object
+	if names := fd.Type.Params.List[0].Names; len(names) == 1 && names[0].Name != "_" {
+		param = pass.Info.Defs[names[0]]
+	}
+	return recv, st, param
+}
+
+// derefNamed unwraps at most one pointer and returns the named type
+// beneath, or nil.
+func derefNamed(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// checkPairwiseMerge verifies that Merge reads every field of its
+// argument. Reads are traced transitively through same-package callees
+// that receive the argument; passing it to an unknown function, a
+// conversion, or a whole-value deref (*x = *o) conservatively counts as
+// reading everything.
+func checkPairwiseMerge(pass *Pass, fd *ast.FuncDecl, named *types.Named, st *types.Struct, param types.Object, decls map[*types.Func]*ast.FuncDecl) {
+	covered := make(map[string]bool)
+	all := false
+	visited := make(map[*types.Func]bool)
+
+	var scan func(body ast.Node, arg types.Object)
+	scan = func(body ast.Node, arg types.Object) {
+		if arg == nil {
+			return
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			if all {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.Info.Uses[id] == arg {
+					covered[n.Sel.Name] = true
+				}
+			case *ast.StarExpr:
+				// *o reads the whole value (typically `*x = *o`).
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.Info.Uses[id] == arg {
+					all = true
+				}
+			case *ast.CallExpr:
+				// o handed to a callee: trace same-package bodies, assume
+				// full reads everywhere else.
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.Info.Uses[id] == arg {
+						traceCallee(pass, n, -1, decls, visited, scan, &all)
+					}
+				}
+				for i, a := range n.Args {
+					if id, ok := ast.Unparen(a).(*ast.Ident); ok && pass.Info.Uses[id] == arg {
+						traceCallee(pass, n, i, decls, visited, scan, &all)
+					}
+				}
+			}
+			return true
+		})
+	}
+	scan(fd.Body, param)
+
+	if all {
+		return
+	}
+	var missing []string
+	for i := 0; i < st.NumFields(); i++ {
+		if name := st.Field(i).Name(); !covered[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		pass.Reportf(fd.Name.Pos(),
+			"%s.Merge never reads field %s of its argument; an unmerged field silently drops that shard state",
+			named.Obj().Name(), name)
+	}
+}
+
+// traceCallee resolves the function called by n and continues the scan
+// inside its body with the parameter that receives the argument
+// (argIdx, or the receiver when argIdx < 0). An unresolvable callee —
+// another package's function, a function value, a conversion, a builtin
+// — conservatively counts as reading every field.
+func traceCallee(pass *Pass, n *ast.CallExpr, argIdx int, decls map[*types.Func]*ast.FuncDecl, visited map[*types.Func]bool, scan func(ast.Node, types.Object), all *bool) {
+	var callee *types.Func
+	switch fun := ast.Unparen(n.Fun).(type) {
+	case *ast.Ident:
+		callee, _ = pass.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		callee, _ = pass.Info.Uses[fun.Sel].(*types.Func)
+	}
+	cfd := decls[callee]
+	if cfd == nil {
+		*all = true
+		return
+	}
+	if visited[callee] {
+		return
+	}
+	visited[callee] = true
+	var target types.Object
+	if argIdx < 0 {
+		if cfd.Recv != nil && len(cfd.Recv.List[0].Names) == 1 {
+			target = pass.Info.Defs[cfd.Recv.List[0].Names[0]]
+		}
+	} else {
+		i := 0
+		for _, field := range cfd.Type.Params.List {
+			for _, name := range field.Names {
+				if i == argIdx {
+					target = pass.Info.Defs[name]
+				}
+				i++
+			}
+		}
+	}
+	if target == nil {
+		*all = true
+		return
+	}
+	scan(cfd.Body, target)
+}
+
+// mergedResultType matches a fold-merge signature: the first result that
+// is (a pointer to) a struct declared in this package.
+func mergedResultType(pass *Pass, fd *ast.FuncDecl) (*types.Named, *types.Struct) {
+	obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil, nil
+	}
+	results := obj.Type().(*types.Signature).Results()
+	for i := 0; i < results.Len(); i++ {
+		named := derefNamed(results.At(i).Type())
+		if named == nil || named.Obj().Pkg() != pass.Pkg {
+			continue
+		}
+		if st, ok := named.Underlying().(*types.Struct); ok {
+			return named, st
+		}
+	}
+	return nil, nil
+}
+
+// accumulatorField reports whether a result field carries merged state:
+// numeric counters/statistics, or struct-valued accumulators with their
+// own Merge/Add method. Identity fields (string, bool, map, slice,
+// interface) describe the run rather than accumulate over shards.
+func accumulatorField(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsNumeric != 0
+	case *types.Struct:
+		return hasMergeLikeMethod(t)
+	case *types.Pointer:
+		return hasMergeLikeMethod(u.Elem())
+	}
+	return false
+}
+
+func hasMergeLikeMethod(t types.Type) bool {
+	ms := types.NewMethodSet(types.NewPointer(t))
+	for i := 0; i < ms.Len(); i++ {
+		switch ms.At(i).Obj().Name() {
+		case "Merge", "Add":
+			return true
+		}
+	}
+	return false
+}
+
+// checkFoldMerge verifies that a merge function writes every accumulator
+// field of its result struct: direct assignment (including += and ++),
+// a composite-literal key, an address-of (handed to a merging callee),
+// or a Merge/Add method call on the field.
+func checkFoldMerge(pass *Pass, fd *ast.FuncDecl, named *types.Named, st *types.Struct) {
+	isT := func(e ast.Expr) bool {
+		tv, ok := pass.Info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		n := derefNamed(tv.Type)
+		return n != nil && n.Obj() == named.Obj()
+	}
+	written := make(map[string]bool)
+	markField := func(e ast.Expr) {
+		if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok && isT(sel.X) {
+			written[sel.Sel.Name] = true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				markField(lhs)
+			}
+		case *ast.IncDecStmt:
+			markField(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				markField(n.X)
+			}
+		case *ast.CallExpr:
+			// res.Field.Merge(...) / res.Field.Add(...) combine in place.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				markField(sel.X)
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.Info.Types[n]; ok && tv.Type != nil && derefNamed(tv.Type) != nil && derefNamed(tv.Type).Obj() == named.Obj() {
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if key, ok := kv.Key.(*ast.Ident); ok {
+							written[key.Name] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	var missing []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if accumulatorField(f.Type()) && !written[f.Name()] {
+			missing = append(missing, f.Name())
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		pass.Reportf(fd.Name.Pos(),
+			"%s never combines counter field %s of %s; a result field that no merge line touches is silently zero in sharded runs",
+			fd.Name.Name, name, named.Obj().Name())
+	}
+}

@@ -1,0 +1,5 @@
+// Package badverb uses a directive verb the engine does not know.
+package badverb
+
+//airlint:nocheck this verb does not exist
+func Nop() {}

@@ -1,0 +1,8 @@
+// Package hotorphan misplaces the hot-path marker: it only means
+// something in a function's doc comment.
+package hotorphan
+
+func Walk(k int) int {
+	//airlint:hotpath
+	return k + 1
+}

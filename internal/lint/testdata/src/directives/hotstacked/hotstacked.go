@@ -1,0 +1,18 @@
+// Package hotstacked stacks the hot-path marker with suppressions: a
+// used allow silences the finding; a stale one is itself an error.
+package hotstacked
+
+import "fmt"
+
+//airlint:hotpath
+func Walk(k int) error {
+	if k < 0 {
+		return fmt.Errorf("bad k %d", k) //airlint:allow hotalloc terminal validation path, once per bad call
+	}
+	return nil
+}
+
+//airlint:hotpath
+func Quiet(k int) int {
+	return k //airlint:allow hotalloc nothing allocates here, the allow is stale
+}

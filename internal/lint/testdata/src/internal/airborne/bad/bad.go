@@ -1,0 +1,36 @@
+// Package bad consumes broadcast-image bytes every way byteclock
+// forbids: decoding outside the accessor, reaching into the decode
+// cache, and decoding a bucket the clock never charged.
+package bad
+
+import "example.com/airlintfix/internal/channel"
+
+// Bytes mirrors the airborne decode cache.
+type Bytes struct {
+	ch    *channel.Channel
+	cache [][]byte
+}
+
+// Of is the sanctioned accessor; its own Encode call is the one
+// legitimate decode site and carries the allow.
+func (e *Bytes) Of(i int) []byte {
+	if e.cache[i] == nil {
+		e.cache[i] = e.ch.Bucket(i).Encode() //airlint:allow byteclock memoized decode of the bucket the caller was just charged for
+	}
+	return e.cache[i]
+}
+
+// Peek decodes outside the accessor.
+func Peek(c *channel.Channel, i int) []byte {
+	return c.Bucket(i).Encode() // line 25: Encode outside the charging path
+}
+
+// Steal reads the decode cache directly.
+func Steal(e *Bytes, i int) []byte {
+	return e.cache[i] // line 30: direct cache read
+}
+
+// Wander decodes a neighbour the callback was never charged for.
+func Wander(e *Bytes, i int) []byte {
+	return e.Of(i + 1) // line 35: not the callback's own index parameter
+}

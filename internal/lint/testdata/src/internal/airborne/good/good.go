@@ -1,0 +1,23 @@
+// Package good consumes image bytes only through the charged
+// accessor, always for the bucket index its callback was handed.
+package good
+
+// Bytes mirrors the airborne decode cache.
+type Bytes struct {
+	cache [][]byte
+}
+
+// Of is the accessor; cache reads inside Bytes methods are sanctioned.
+func (e *Bytes) Of(i int) []byte { return e.cache[i] }
+
+// OnBucket decodes exactly the bucket index it was handed — the one
+// the walker just read and charged.
+func OnBucket(e *Bytes, i int) int {
+	return len(e.Of(i))
+}
+
+// OnBucketClosure does the same from a callback literal with its own
+// parameter set.
+func OnBucketClosure(e *Bytes) func(int) int {
+	return func(j int) int { return len(e.Of(j)) }
+}

@@ -1,0 +1,19 @@
+// Package channel mirrors the production bucket codec for fixtures:
+// byteclock recognizes the niladic Encode() []byte shape on any bucket
+// type, matched structurally rather than by import path.
+package channel
+
+// Bucket is one broadcast bucket with its encoded image.
+type Bucket struct{ payload []byte }
+
+// Encode returns the bucket's broadcast image.
+func (b Bucket) Encode() []byte { return b.payload }
+
+// Channel is a cyclic bucket sequence.
+type Channel struct{ buckets []Bucket }
+
+// Bucket returns the bucket at cycle position i.
+func (c *Channel) Bucket(i int) Bucket { return c.buckets[i] }
+
+// NumBuckets returns the cycle's bucket count.
+func (c *Channel) NumBuckets() int { return len(c.buckets) }

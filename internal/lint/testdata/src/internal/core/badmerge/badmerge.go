@@ -1,0 +1,26 @@
+// Package badmerge mirrors the shard-fold shape of the production
+// engine but drops one counter: the merged result silently zeroes it
+// in every sharded run, which is exactly what mergecomplete exists to
+// catch.
+package badmerge
+
+// Result mirrors the merged experiment outcome: two counters plus an
+// identity field that configuration fills, not accumulation.
+type Result struct {
+	Requests int64
+	Switches int64
+	Scheme   string
+}
+
+type shard struct {
+	requests int64
+	switches int64
+}
+
+func mergeShards(shards []shard) *Result { // line 20: Switches never combined
+	res := &Result{Scheme: "flat"}
+	for _, sh := range shards {
+		res.Requests += sh.requests
+	}
+	return res
+}

@@ -1,0 +1,34 @@
+// Package goodmerge folds every accumulator of its result: plain
+// addition, a composite-literal identity field, and an Add-method
+// accumulator all count as combined.
+package goodmerge
+
+type counter struct{ n int64 }
+
+// Add folds one observation into the counter.
+func (c *counter) Add(x int64) { c.n += x }
+
+// Result mixes counters, a method-merged accumulator and an identity
+// field.
+type Result struct {
+	Requests int64
+	Switches int64
+	Access   counter
+	Scheme   string
+}
+
+type shard struct {
+	requests int64
+	switches int64
+	access   counter
+}
+
+func mergeShards(shards []shard) *Result {
+	res := &Result{Scheme: "flat"}
+	for _, sh := range shards {
+		res.Requests += sh.requests
+		res.Switches += sh.switches
+		res.Access.Add(sh.access.n)
+	}
+	return res
+}

@@ -1,0 +1,20 @@
+// Package rngbad violates the substream discipline every way the
+// analyzer can see inside one package: direct math/rand construction,
+// a computed label, an empty label, and a label reused within the
+// package.
+package rngbad
+
+import (
+	"math/rand"
+
+	"example.com/airlintfix/internal/sim"
+)
+
+func Streams(seed int64, shard int, name string) int64 {
+	src := rand.NewSource(seed)            // line 14: direct construction
+	a := sim.StreamSeed(seed, shard, name) // line 15: computed label
+	b := sim.StreamSeed(seed, shard, "")   // line 16: empty label
+	c := sim.StreamSeed(seed, shard, "faults")
+	d := sim.StreamSeed(seed, shard, "faults") // line 18: duplicate label
+	return src.Int63() + a + b + c + d
+}

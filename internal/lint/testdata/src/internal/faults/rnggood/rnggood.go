@@ -1,0 +1,12 @@
+// Package rnggood derives every substream through the sanctioned
+// constructors with distinct compile-time labels.
+package rnggood
+
+import "example.com/airlintfix/internal/sim"
+
+func Streams(seed int64, shard int) int64 {
+	rng := sim.NewShardRNG(seed, shard)
+	_ = rng
+	a := sim.StreamSeed(seed, shard, "arrivals")
+	return a + sim.StreamSeed(seed, shard, "faults")
+}

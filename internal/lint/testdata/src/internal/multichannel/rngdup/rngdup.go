@@ -1,0 +1,10 @@
+// Package rngdup reuses a substream label another package already
+// claimed. Checked alone it is clean; only a whole-module batch
+// (CheckAll) can see the collision with rnggood's "faults" stream.
+package rngdup
+
+import "example.com/airlintfix/internal/sim"
+
+func Stream(seed int64, shard int) int64 {
+	return sim.StreamSeed(seed, shard, "faults") // duplicate across packages
+}

@@ -1,0 +1,21 @@
+// Package hotbad allocates every way hotalloc can catch inside a
+// marked walker: literals, growth builtins, closures, boxing, fmt and
+// string traffic.
+package hotbad
+
+import "fmt"
+
+func sink(v any) {}
+
+//airlint:hotpath
+func Walk(k int, name string) int {
+	m := map[int]int{k: k}        // line 12: map literal
+	s := []int{k}                 // line 13: slice literal
+	s = append(s, k)              // line 14: append
+	b := make([]byte, k)          // line 15: make
+	f := func() int { return k }  // line 16: closure
+	sink(k)                       // line 17: boxing into any
+	label := name + fmt.Sprint(k) // line 18: concat and fmt
+	raw := []byte(name)           // line 19: string conversion
+	return m[k] + len(s) + len(b) + f() + len(label) + len(raw)
+}

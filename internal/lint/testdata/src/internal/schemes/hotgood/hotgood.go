@@ -1,0 +1,20 @@
+// Package hotgood keeps its marked walker allocation-free; the
+// unmarked builder next to it may allocate freely.
+package hotgood
+
+// total is a compile-time constant; constants never allocate.
+const total = 3
+
+//airlint:hotpath
+func Walk(buf []byte, k int) int {
+	acc := total
+	for _, b := range buf {
+		acc += int(b) * k // numeric conversions are free
+	}
+	return acc
+}
+
+// Build is unmarked: setup code allocates outside the hot path.
+func Build(n int) []byte {
+	return make([]byte, n)
+}

@@ -1,0 +1,16 @@
+// Package badmerge forgets one field in a pairwise merge: the moment
+// estimate survives but its variance silently collapses.
+package badmerge
+
+// Sample mirrors the production Welford accumulator.
+type Sample struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Merge folds o into s but never reads o.m2.
+func (s *Sample) Merge(o *Sample) { // line 13: m2 never read
+	s.n += o.n
+	s.mean += o.mean
+}

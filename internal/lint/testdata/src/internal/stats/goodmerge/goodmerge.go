@@ -1,0 +1,21 @@
+// Package goodmerge reads its merge argument transitively: the
+// whole-value copy happens inside a same-package helper, which the
+// analyzer traces instead of flagging.
+package goodmerge
+
+// Sample mirrors the production Welford accumulator.
+type Sample struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Merge reads o.n directly and hands o to copyFrom for the rest.
+func (s *Sample) Merge(o *Sample) {
+	if o.n == 0 {
+		return
+	}
+	s.copyFrom(o)
+}
+
+func (s *Sample) copyFrom(o *Sample) { *s = *o }

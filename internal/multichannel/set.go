@@ -281,6 +281,8 @@ func (s *Set) ChannelCycle(j int) units.ByteCount { return s.member[j].ch.CycleL
 
 // Logical maps a channel-local bucket position to its logical cycle
 // position.
+//
+//airlint:hotpath
 func (s *Set) Logical(ch int, local units.BucketIndex) units.BucketIndex {
 	m := &s.member[ch]
 	if m.logical == nil {
@@ -291,12 +293,16 @@ func (s *Set) Logical(ch int, local units.BucketIndex) units.BucketIndex {
 
 // SizeOfLocal returns the byte size of the bucket at a channel-local
 // position.
+//
+//airlint:hotpath
 func (s *Set) SizeOfLocal(ch int, local units.BucketIndex) units.ByteCount {
 	return s.member[ch].ch.SizeOf(local)
 }
 
 // EndGiven returns the finish time of the local bucket on channel ch when
 // its broadcast starts at the given time.
+//
+//airlint:hotpath
 func (s *Set) EndGiven(ch int, local units.BucketIndex, start sim.Time) sim.Time {
 	return s.member[ch].ch.EndGiven(local, start)
 }
@@ -305,6 +311,8 @@ func (s *Set) EndGiven(ch int, local units.BucketIndex, start sim.Time) sim.Time
 // beginning at or after t — the multichannel initial wait. The initial
 // tune is free of switch cost (the receiver is not locked to any channel
 // yet); ties go to the lowest channel index.
+//
+//airlint:hotpath
 func (s *Set) FirstBucket(t sim.Time) (ch int, local units.BucketIndex, start sim.Time) {
 	ch = -1
 	for j := range s.member {
@@ -318,11 +326,15 @@ func (s *Set) FirstBucket(t sim.Time) (ch int, local units.BucketIndex, start si
 
 // NextOnChannel returns the next complete bucket on channel ch beginning
 // at or after t.
+//
+//airlint:hotpath
 func (s *Set) NextOnChannel(ch int, t sim.Time) (units.BucketIndex, sim.Time) {
 	return s.member[ch].nextBucketAt(t)
 }
 
 // NextCycleStartOn returns channel ch's next cycle start at or after t.
+//
+//airlint:hotpath
 func (s *Set) NextCycleStartOn(ch int, t sim.Time) sim.Time {
 	return s.member[ch].nextCycleStart(t)
 }
@@ -332,6 +344,8 @@ func (s *Set) NextCycleStartOn(ch int, t sim.Time) sim.Time {
 // time end: occurrences on cur qualify from end, occurrences on any other
 // channel from end plus the switch cost (the retune happens while
 // dozing). Ties prefer staying on cur, then the lowest channel index.
+//
+//airlint:hotpath
 func (s *Set) NextFeasible(target units.BucketIndex, end sim.Time, cur int) (ch int, local units.BucketIndex, start sim.Time) {
 	cost := s.cfg.SwitchCost.Span()
 	ch = -1
@@ -357,6 +371,8 @@ func (s *Set) NextFeasible(target units.BucketIndex, end sim.Time, cur int) (ch 
 // period.
 
 // nextBucketAt returns the member's next complete bucket at or after t.
+//
+//airlint:hotpath
 func (m *member) nextBucketAt(t sim.Time) (units.BucketIndex, sim.Time) {
 	tl := t - m.phase
 	var shift sim.Time
@@ -371,6 +387,8 @@ func (m *member) nextBucketAt(t sim.Time) (units.BucketIndex, sim.Time) {
 
 // nextOccurrence returns the absolute start of the next broadcast of the
 // member's local bucket at or after t.
+//
+//airlint:hotpath
 func (m *member) nextOccurrence(local units.BucketIndex, t sim.Time) sim.Time {
 	start0 := int64(m.ch.StartInCycle(local))
 	p := int64(m.ch.CycleLen())
@@ -385,6 +403,8 @@ func (m *member) nextOccurrence(local units.BucketIndex, t sim.Time) sim.Time {
 }
 
 // nextCycleStart returns the member's next cycle start at or after t.
+//
+//airlint:hotpath
 func (m *member) nextCycleStart(t sim.Time) sim.Time {
 	p := int64(m.ch.CycleLen())
 	d := int64(t - m.phase)

@@ -127,6 +127,8 @@ func (s *Simulator) Stop() { s.stopped = true }
 // Run fires events in time order until the queue drains, Stop is called, or
 // maxEvents events have fired (maxEvents <= 0 means no limit). It returns
 // ErrStopped if stopped, or an error if the event budget was exhausted.
+//
+//airlint:hotpath
 func (s *Simulator) Run(maxEvents int64) error {
 	fired := int64(0)
 	for len(s.queue) > 0 {
@@ -135,7 +137,7 @@ func (s *Simulator) Run(maxEvents int64) error {
 			return ErrStopped
 		}
 		if maxEvents > 0 && fired >= maxEvents {
-			return fmt.Errorf("sim: event budget %d exhausted at t=%d with %d pending", maxEvents, s.now, len(s.queue))
+			return fmt.Errorf("sim: event budget %d exhausted at t=%d with %d pending", maxEvents, s.now, len(s.queue)) //airlint:allow hotalloc terminal budget-exhaustion path, once per failed run
 		}
 		ev := heap.Pop(&s.queue).(*Event)
 		s.now = ev.At
@@ -148,6 +150,8 @@ func (s *Simulator) Run(maxEvents int64) error {
 
 // RunUntil fires events whose time is <= deadline, leaving later events
 // queued, and advances the clock to the deadline.
+//
+//airlint:hotpath
 func (s *Simulator) RunUntil(deadline Time) {
 	for len(s.queue) > 0 && s.queue[0].At <= deadline {
 		ev := heap.Pop(&s.queue).(*Event)

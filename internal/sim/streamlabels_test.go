@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestStreamSeedLabelsUnique is the runtime backstop behind the
+// rngdiscipline analyzer: it enumerates every StreamSeed call site in
+// the module and asserts each label is a string literal and no label is
+// used twice. The analyzer enforces the same contract at lint time; this
+// test keeps the invariant covered by `go test ./...` alone.
+func TestStreamSeedLabelsUnique(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not at %s: %v", root, err)
+	}
+
+	fset := token.NewFileSet()
+	type site struct {
+		pos   token.Position
+		label string
+	}
+	var sites []site
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 3 {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name != "StreamSeed" {
+					return true
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name != "StreamSeed" {
+					return true
+				}
+			default:
+				return true
+			}
+			pos := fset.Position(call.Args[2].Pos())
+			lit, ok := call.Args[2].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				t.Errorf("%s: StreamSeed label is not a string literal", pos)
+				return true
+			}
+			label, err := strconv.Unquote(lit.Value)
+			if err != nil || label == "" {
+				t.Errorf("%s: StreamSeed label %s is empty or malformed", pos, lit.Value)
+				return true
+			}
+			sites = append(sites, site{pos: pos, label: label})
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(sites) == 0 {
+		t.Fatal("no StreamSeed call sites found in the module; the backstop is scanning the wrong tree")
+	}
+	first := make(map[string]token.Position)
+	for _, s := range sites {
+		if prev, ok := first[s.label]; ok {
+			t.Errorf("StreamSeed label %q used at both %s and %s; duplicate labels yield identical substreams", s.label, prev, s.pos)
+			continue
+		}
+		first[s.label] = s.pos
+	}
+}

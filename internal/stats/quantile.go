@@ -49,10 +49,12 @@ func (q *Quantile) N() int64 { return q.n }
 func (q *Quantile) P() float64 { return q.p }
 
 // Add records one observation.
+//
+//airlint:hotpath
 func (q *Quantile) Add(x float64) {
 	q.n++
 	if q.n <= 5 {
-		q.initial = append(q.initial, x)
+		q.initial = append(q.initial, x) //airlint:allow hotalloc warm-up only: the first five observations per estimator buffer here
 		if q.n == 5 {
 			sort.Float64s(q.initial)
 			for i := 0; i < 5; i++ {

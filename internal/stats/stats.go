@@ -26,6 +26,8 @@ type Sample struct {
 }
 
 // Add records one observation.
+//
+//airlint:hotpath
 func (s *Sample) Add(x float64) {
 	s.n++
 	if s.n == 1 {
