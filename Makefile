@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-only test test-race cover bench experiments experiments-fast faults-sweep multich-sweep examples clean
+.PHONY: all build vet lint lint-only lint-flow lint-escape test test-race cover bench experiments experiments-fast faults-sweep multich-sweep examples clean
 
 all: build vet lint test
 
@@ -11,9 +11,10 @@ vet:
 	$(GO) vet ./...
 
 # Project static analysis: determinism, floatcompare, confinement,
-# unitsafety, exhaustive, mergecomplete, rngdiscipline, byteclock and
-# hotalloc, plus //airlint:allow / //airlint:hotpath directive checking
-# (see internal/lint and DESIGN.md §7).
+# unitsafety, exhaustive, mergecomplete, rngdiscipline, byteclock,
+# hotalloc, maporder and seedtaint, plus //airlint:allow /
+# //airlint:hotpath directive checking (see internal/lint and
+# DESIGN.md §7). escapecheck needs compiler output; see lint-escape.
 lint:
 	$(GO) run ./cmd/airlint ./...
 
@@ -21,6 +22,17 @@ lint:
 #   make lint-only A=rngdiscipline
 lint-only:
 	$(GO) run ./cmd/airlint -only $(A) ./...
+
+# Just the flow-sensitive pair (CFG + taint), for iterating on dataflow
+# fixes without the rest of the suite.
+lint-flow:
+	$(GO) run ./cmd/airlint -only maporder,seedtaint ./...
+
+# Cross-check //airlint:hotpath functions against the compiler's escape
+# analysis: builds the module with -gcflags='-m -m' and fails on any
+# heap escape inside a marked function (see DESIGN.md §7).
+lint-escape:
+	$(GO) run ./cmd/airlint -escape ./...
 
 test:
 	$(GO) test ./...

@@ -1,14 +1,15 @@
 // Command airlint runs the project's static-analysis suite: the
 // determinism, floatcompare, confinement, unitsafety, exhaustive,
-// mergecomplete, rngdiscipline, byteclock, and hotalloc analyzers plus
-// `//airlint:allow` / `//airlint:hotpath` directive checking (see
-// internal/lint).
+// mergecomplete, rngdiscipline, byteclock, hotalloc, maporder,
+// seedtaint, and escapecheck analyzers plus `//airlint:allow` /
+// `//airlint:hotpath` directive checking (see internal/lint).
 //
 // Usage:
 //
 //	airlint ./...                 # lint the whole module
 //	airlint ./internal/sim        # lint one package
 //	airlint -only rngdiscipline,hotalloc ./...  # a subset, for iteration
+//	airlint -escape ./...         # also cross-check hotpaths vs the compiler
 //	airlint -json ./...           # one JSON object per finding
 //	airlint -list                 # describe the analyzers
 //
@@ -21,6 +22,13 @@
 // All selected packages are checked in one batch so the module-wide
 // rules see every call site at once (rngdiscipline's duplicate-label
 // check spans packages).
+//
+// The escapecheck analyzer needs the compiler's escape diagnostics:
+// -escape shells out to `go build -gcflags='-m -m'` over the selected
+// packages (the Go build cache replays the output for unchanged code,
+// so repeat runs stay fast). Selecting it with -only escapecheck
+// implies -escape. Without escape data the analyzer is skipped and its
+// suppressions are ignored rather than reported stale.
 package main
 
 import (
@@ -57,6 +65,7 @@ func run(args []string, out io.Writer) (int, error) {
 	list := fs.Bool("list", false, "describe the analyzers and exit")
 	jsonOut := fs.Bool("json", false, "emit one JSON object per finding instead of text")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all; directive checking always runs)")
+	escape := fs.Bool("escape", false, "build with -gcflags='-m -m' and cross-check //airlint:hotpath functions against the compiler's escape analysis")
 	dir := fs.String("C", ".", "change to this directory before resolving patterns")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
@@ -73,6 +82,10 @@ func run(args []string, out io.Writer) (int, error) {
 		for _, n := range strings.Split(*only, ",") {
 			if n = strings.TrimSpace(n); n != "" {
 				names = append(names, n)
+				if n == "escapecheck" {
+					// Selecting the analyzer is asking for the build.
+					*escape = true
+				}
 			}
 		}
 	}
@@ -102,7 +115,14 @@ func run(args []string, out io.Writer) (int, error) {
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	diags, err := lint.CheckOnly(pkgs, names)
+	opts := lint.Options{Only: names}
+	if *escape {
+		opts.Escapes, err = lint.RunEscapeBuild(root, rels)
+		if err != nil {
+			return 2, err
+		}
+	}
+	diags, err := lint.CheckWith(pkgs, opts)
 	if err != nil {
 		return 2, err
 	}

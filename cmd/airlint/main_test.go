@@ -43,10 +43,43 @@ func TestRunListsAnalyzers(t *testing.T) {
 	if err != nil || code != 0 {
 		t.Fatalf("-list: code %d err %v", code, err)
 	}
-	for _, want := range []string{"determinism", "floatcompare", "confinement", "unitsafety", "exhaustive", "mergecomplete", "rngdiscipline", "byteclock", "hotalloc", "directive", "hotpath"} {
+	for _, want := range []string{"determinism", "floatcompare", "confinement", "unitsafety", "exhaustive", "mergecomplete", "rngdiscipline", "byteclock", "hotalloc", "maporder", "seedtaint", "escapecheck", "directive", "hotpath"} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("-list output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestRunEscapeCleanFixture drives the full -escape path: a real
+// `go build -gcflags='-m -m'` over the fixture package, escape data
+// attached, no hotpath functions there, so nothing to report.
+func TestRunEscapeCleanFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go build")
+	}
+	var out bytes.Buffer
+	code, err := run([]string{"-escape", "./cmd/airlint/testdata/clean"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("clean fixture under -escape: exit %d, output:\n%s", code, out.String())
+	}
+}
+
+// TestRunOnlyEscapeCheckImpliesBuild: naming escapecheck in -only turns
+// the escape build on instead of erroring out for missing data.
+func TestRunOnlyEscapeCheckImpliesBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go build")
+	}
+	var out bytes.Buffer
+	code, err := run([]string{"-only", "escapecheck", "./cmd/airlint/testdata/clean"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("-only escapecheck on clean fixture: exit %d, output:\n%s", code, out.String())
 	}
 }
 

@@ -137,6 +137,7 @@ func Walk(ch *channel.Channel, c Client, arrival sim.Time, maxSteps int) (Result
 			start = end
 		case StepDoze:
 			if s.At < end {
+				//airlint:allow escapecheck fmt.Errorf boxes its operands on this terminal error path
 				return res, fmt.Errorf("access: client dozed into the past: %d < %d", s.At, end) //airlint:allow hotalloc terminal protocol-violation path, never taken by a correct client
 			}
 			if s.Hint.InCycle(ch.NumBuckets()) && units.CycleOffset(s.At, ch.CycleLen()) == ch.StartInCycle(s.Hint) {
@@ -149,8 +150,10 @@ func Walk(ch *channel.Channel, c Client, arrival sim.Time, maxSteps int) (Result
 			res.Found = s.Found
 			return res, nil
 		default:
+			//airlint:allow escapecheck fmt.Errorf boxes its operands on this terminal error path
 			return res, fmt.Errorf("access: invalid step kind %d", s.Kind) //airlint:allow hotalloc terminal protocol-violation path, never taken by a correct client
 		}
 	}
+	//airlint:allow escapecheck fmt.Errorf boxes its operands on this terminal error path
 	return res, fmt.Errorf("access: query exceeded %d steps without terminating", maxSteps) //airlint:allow hotalloc terminal budget-exhaustion path, once per failed query
 }

@@ -35,6 +35,7 @@ type FaultyResult struct {
 //airlint:hotpath
 func WalkFaulty(ch *channel.Channel, newClient func() Client, arrival sim.Time, ber float64, rnd func() float64, maxSteps int) (FaultyResult, error) {
 	if ber < 0 || ber >= 1 {
+		//airlint:allow escapecheck fmt.Errorf boxes its operands on this terminal error path
 		return FaultyResult{}, fmt.Errorf("access: bit error rate %v outside [0,1)", ber) //airlint:allow hotalloc argument validation, once per call before the loop
 	}
 	if maxSteps <= 0 {
@@ -63,6 +64,7 @@ func WalkFaulty(ch *channel.Channel, newClient func() Client, arrival sim.Time, 
 			start = end
 		case StepDoze:
 			if s.At < end {
+				//airlint:allow escapecheck fmt.Errorf boxes its operands on this terminal error path
 				return res, fmt.Errorf("access: client dozed into the past: %d < %d", s.At, end) //airlint:allow hotalloc terminal protocol-violation path, never taken by a correct client
 			}
 			if s.Hint.InCycle(ch.NumBuckets()) && units.CycleOffset(s.At, ch.CycleLen()) == ch.StartInCycle(s.Hint) {
@@ -75,8 +77,10 @@ func WalkFaulty(ch *channel.Channel, newClient func() Client, arrival sim.Time, 
 			res.Found = s.Found
 			return res, nil
 		default:
+			//airlint:allow escapecheck fmt.Errorf boxes its operands on this terminal error path
 			return res, fmt.Errorf("access: invalid step kind %d", s.Kind) //airlint:allow hotalloc terminal protocol-violation path, never taken by a correct client
 		}
 	}
+	//airlint:allow escapecheck fmt.Errorf boxes its operands on this terminal error path
 	return res, fmt.Errorf("access: faulty query exceeded %d steps without terminating", maxSteps) //airlint:allow hotalloc terminal budget-exhaustion path, once per failed query
 }

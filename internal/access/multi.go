@@ -112,6 +112,7 @@ func walkMulti(set *multichannel.Set, newClient func() Client, arrival sim.Time,
 			local, start = l, at
 		case StepDoze:
 			if s.At < end {
+				//airlint:allow escapecheck fmt.Errorf boxes its operands on this terminal error path
 				return res, fmt.Errorf("access: client dozed into the past: %d < %d", s.At, end) //airlint:allow hotalloc terminal protocol-violation path, never taken by a correct client
 			}
 			if s.Hint.InCycle(n) {
@@ -130,11 +131,14 @@ func walkMulti(set *multichannel.Set, newClient func() Client, arrival sim.Time,
 			res.Found = s.Found
 			return res, nil
 		default:
+			//airlint:allow escapecheck fmt.Errorf boxes its operands on this terminal error path
 			return res, fmt.Errorf("access: invalid step kind %d", s.Kind) //airlint:allow hotalloc terminal protocol-violation path, never taken by a correct client
 		}
 	}
 	if inj != nil && pol.MaxRetries <= 0 {
+		//airlint:allow escapecheck fmt.Errorf boxes its operands on this terminal error path
 		return res, fmt.Errorf("access: recovering multichannel query exceeded %d steps without terminating (unbounded retries; bound RecoverPolicy.MaxRetries — at this error rate the scheme cannot complete a clean pass)", maxSteps) //airlint:allow hotalloc terminal budget-exhaustion path, once per failed query
 	}
+	//airlint:allow escapecheck fmt.Errorf boxes its operands on this terminal error path
 	return res, fmt.Errorf("access: multichannel query exceeded %d steps without terminating", maxSteps) //airlint:allow hotalloc terminal budget-exhaustion path, once per failed query
 }

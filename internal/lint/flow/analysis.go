@@ -1,0 +1,80 @@
+package flow
+
+import "go/ast"
+
+// Lattice describes the fact domain of a forward dataflow analysis over
+// a Graph. Facts must form a join-semilattice of finite height and
+// Transfer must be monotone, or the worklist will not terminate.
+type Lattice[F any] struct {
+	// Init is the fact at function entry.
+	Init F
+	// Join merges the facts flowing in along two edges. It must not
+	// mutate its arguments.
+	Join func(a, b F) F
+	// Equal reports whether two facts are indistinguishable; it bounds
+	// the fixpoint iteration.
+	Equal func(a, b F) bool
+	// Transfer produces the fact after executing one CFG node given the
+	// fact before it. It must not mutate in.
+	Transfer func(n ast.Node, in F) F
+}
+
+// Forward runs l to a fixed point over g and returns the fact at the
+// entry of every reachable block. Blocks unreachable from the entry are
+// absent from the map.
+func Forward[F any](g *Graph, l Lattice[F]) map[*Block]F {
+	in := make(map[*Block]F)
+	in[g.Entry] = l.Init
+
+	// Worklist seeded with the entry; blocks are re-queued whenever a
+	// predecessor changes their in-fact.
+	queued := make(map[*Block]bool)
+	work := []*Block{g.Entry}
+	queued[g.Entry] = true
+
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		out := in[blk]
+		for _, n := range blk.Nodes {
+			out = l.Transfer(n, out)
+		}
+		for _, succ := range blk.Succs {
+			prev, seen := in[succ]
+			var next F
+			if seen {
+				next = l.Join(prev, out)
+			} else {
+				next = out
+			}
+			if !seen || !l.Equal(prev, next) {
+				in[succ] = next
+				if !queued[succ] {
+					queued[succ] = true
+					work = append(work, succ)
+				}
+			}
+		}
+	}
+	return in
+}
+
+// ForwardVisit solves l over g and then replays every reachable block
+// once, calling visit with the fact in force immediately before each
+// node. Analyzers do their reporting in visit: the fact tells them what
+// taints/definitions reach the node they are about to inspect.
+func ForwardVisit[F any](g *Graph, l Lattice[F], visit func(n ast.Node, before F)) {
+	in := Forward(g, l)
+	for _, blk := range g.Blocks {
+		fact, ok := in[blk]
+		if !ok {
+			continue // unreachable
+		}
+		for _, n := range blk.Nodes {
+			visit(n, fact)
+			fact = l.Transfer(n, fact)
+		}
+	}
+}

@@ -1,0 +1,395 @@
+// Package flow is a small intra-procedural control-flow-graph and
+// dataflow engine over the standard library's go/ast and go/types. It
+// exists so that airlint analyzers can be flow-sensitive — tracking how
+// values actually move through a function — instead of approximating
+// invariants with syntactic pattern matches.
+//
+// The package provides three layers:
+//
+//   - a basic-block CFG builder (New) that linearizes a function body's
+//     statements into blocks connected by successor edges, handling if,
+//     for, range, switch, type switch, select, labels, goto, break,
+//     continue and fallthrough;
+//   - a generic forward worklist solver (Forward, ForwardVisit) that
+//     propagates an analyzer-defined lattice to a fixed point;
+//   - value references (Ref, RefOf) and a reaching-definitions instance
+//     (Reaching) built on the solver, which taint analyses reuse.
+//
+// Everything is intra-procedural: function literals are not inlined into
+// the enclosing graph (analyzers treat each FuncLit as its own function),
+// and no heap model is attempted. Like the rest of airlint the package
+// uses only the standard library.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: a maximal sequence of statements that
+// executes front to back with no internal control transfer. Nodes holds
+// the statements (and for loop headers, the controlling expression's
+// statement node) in execution order; Succs lists the blocks control may
+// transfer to afterwards.
+type Block struct {
+	// Index is the block's position in Graph.Blocks, in construction
+	// order (entry first). Useful for deterministic iteration.
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry  *Block
+	Blocks []*Block
+}
+
+// builder threads the state needed while linearizing statements:
+// the current block, the targets of break/continue (innermost and by
+// label), and forward-referenced goto labels.
+type builder struct {
+	g   *Graph
+	cur *Block
+
+	breakTarget    *Block
+	continueTarget *Block
+	// labeled break/continue targets, keyed by label name.
+	labelBreak    map[string]*Block
+	labelContinue map[string]*Block
+	// goto targets; a goto to a label not yet seen parks an edge request
+	// in gotoPending until the label's block is created.
+	labelBlock  map[string]*Block
+	gotoPending map[string][]*Block
+
+	// pendingLabel carries a loop label from labeledLoop into the next
+	// loop/switch construct, which registers its break/continue targets
+	// under that name.
+	pendingLabel string
+}
+
+// New builds the CFG of a function body. body may be nil (a declared but
+// bodiless function), in which case the graph has a single empty block.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{
+		g:             &Graph{},
+		labelBreak:    make(map[string]*Block),
+		labelContinue: make(map[string]*Block),
+		labelBlock:    make(map[string]*Block),
+		gotoPending:   make(map[string][]*Block),
+	}
+	b.cur = b.newBlock()
+	b.g.Entry = b.cur
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	// Unresolved gotos (malformed code the type checker already rejected)
+	// are dropped; nothing to connect.
+	return b.g
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// edge records that control may pass from to next.
+func edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// startBlock makes next the current block without linking it to the
+// previous one — used after terminating statements (return, goto).
+func (b *builder) startBlock(next *Block) {
+	b.cur = next
+}
+
+// jump links the current block to next and continues there.
+func (b *builder) jump(next *Block) {
+	edge(b.cur, next)
+	b.cur = next
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		thenBlk := b.newBlock()
+		join := b.newBlock()
+		edge(condBlk, thenBlk)
+		b.startBlock(thenBlk)
+		b.stmtList(s.Body.List)
+		b.jump(join)
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			edge(condBlk, elseBlk)
+			b.startBlock(elseBlk)
+			b.stmt(s.Else)
+			b.jump(join)
+		} else {
+			edge(condBlk, join)
+		}
+		b.startBlock(join)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		header := b.newBlock()
+		body := b.newBlock()
+		exit := b.newBlock()
+		post := header
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.jump(header)
+		if s.Cond != nil {
+			b.add(s.Cond)
+			edge(header, exit)
+		}
+		edge(header, body)
+		b.loopBody(s, body, exit, post, func() { b.stmtList(s.Body.List) })
+		if s.Post != nil {
+			b.startBlock(post)
+			b.add(s.Post)
+			edge(post, header)
+		}
+		b.startBlock(exit)
+
+	case *ast.RangeStmt:
+		// The RangeStmt node itself stands for the per-iteration key/value
+		// assignment, so it lives in the loop header: facts it generates
+		// flow into the body and around the back edge, and the loop may
+		// execute zero times (header -> exit).
+		header := b.newBlock()
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.jump(header)
+		b.add(s)
+		edge(header, exit)
+		edge(header, body)
+		b.loopBody(s, body, exit, header, func() { b.stmtList(s.Body.List) })
+		b.startBlock(exit)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(s.Body.List, false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(s.Body.List, true)
+
+	case *ast.SelectStmt:
+		entry := b.cur
+		join := b.newBlock()
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			edge(entry, blk)
+			b.startBlock(blk)
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			savedBreak := b.breakTarget
+			b.breakTarget = join
+			b.stmtList(cc.Body)
+			b.breakTarget = savedBreak
+			b.jump(join)
+		}
+		if len(s.Body.List) == 0 {
+			edge(entry, join)
+		}
+		b.startBlock(join)
+
+	case *ast.LabeledStmt:
+		target := b.labelTarget(s.Label.Name)
+		b.jump(target)
+		switch inner := s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.labeledLoop(s.Label.Name, inner)
+		default:
+			b.stmt(s.Stmt)
+		}
+
+	case *ast.BranchStmt:
+		b.add(s)
+		if s.Tok == token.FALLTHROUGH {
+			// Control continues into the next case body; caseClauses
+			// draws that edge when the clause ends.
+			return
+		}
+		b.branch(s)
+		// Continue in an unreachable block so trailing statements don't
+		// leak edges from the branch.
+		b.startBlock(b.newBlock())
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.startBlock(b.newBlock())
+
+	case nil:
+		// nothing
+
+	default:
+		// Straight-line statements: assignments, declarations, expression
+		// statements, sends, go/defer, inc/dec, empty.
+		b.add(s)
+	}
+}
+
+// loopBody runs fn as the body of a loop with the given break/continue
+// targets, restoring the outer targets afterwards. loopStmt is used to
+// connect labeled break/continue set up by labeledLoop.
+func (b *builder) loopBody(_ ast.Stmt, body, brk, cont *Block, fn func()) {
+	savedBreak, savedCont := b.breakTarget, b.continueTarget
+	b.breakTarget, b.continueTarget = brk, cont
+	if name := b.pendingLabel; name != "" {
+		b.labelBreak[name] = brk
+		b.labelContinue[name] = cont
+		b.pendingLabel = ""
+	}
+	b.startBlock(body)
+	fn()
+	b.jump(cont)
+	b.breakTarget, b.continueTarget = savedBreak, savedCont
+}
+
+// labeledLoop records the label so the loop construct built next can
+// register its break/continue targets under it.
+func (b *builder) labeledLoop(name string, s ast.Stmt) {
+	b.pendingLabel = name
+	b.stmt(s)
+	b.pendingLabel = ""
+	delete(b.labelBreak, name)
+	delete(b.labelContinue, name)
+}
+
+// labelTarget returns (creating if needed) the block a goto or labeled
+// statement for name lands on, wiring any parked goto edges.
+func (b *builder) labelTarget(name string) *Block {
+	if blk, ok := b.labelBlock[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labelBlock[name] = blk
+	for _, from := range b.gotoPending[name] {
+		edge(from, blk)
+	}
+	delete(b.gotoPending, name)
+	return blk
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		t := b.breakTarget
+		if s.Label != nil {
+			if lt, ok := b.labelBreak[s.Label.Name]; ok {
+				t = lt
+			}
+		}
+		if t != nil {
+			edge(b.cur, t)
+		}
+	case token.CONTINUE:
+		t := b.continueTarget
+		if s.Label != nil {
+			if lt, ok := b.labelContinue[s.Label.Name]; ok {
+				t = lt
+			}
+		}
+		if t != nil {
+			edge(b.cur, t)
+		}
+	case token.GOTO:
+		if s.Label != nil {
+			if blk, ok := b.labelBlock[s.Label.Name]; ok {
+				edge(b.cur, blk)
+			} else {
+				b.gotoPending[s.Label.Name] = append(b.gotoPending[s.Label.Name], b.cur)
+			}
+		}
+	}
+}
+
+// caseClauses linearizes a (type) switch body: every case body is a
+// block reachable from the dispatch point; fallthrough chains case
+// bodies; a missing default adds a dispatch->join edge.
+func (b *builder) caseClauses(clauses []ast.Stmt, typeSwitch bool) {
+	dispatch := b.cur
+	join := b.newBlock()
+
+	savedBreak := b.breakTarget
+	b.breakTarget = join
+	if name := b.pendingLabel; name != "" {
+		b.labelBreak[name] = join
+		b.pendingLabel = ""
+	}
+
+	hasDefault := false
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		edge(dispatch, bodies[i])
+		b.startBlock(bodies[i])
+		if !typeSwitch {
+			for _, e := range cc.List {
+				b.add(e)
+			}
+		}
+		fallsThrough := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+		}
+		b.stmtList(cc.Body)
+		if fallsThrough && i+1 < len(clauses) {
+			b.jump(bodies[i+1])
+		} else {
+			b.jump(join)
+		}
+	}
+	if !hasDefault || len(clauses) == 0 {
+		edge(dispatch, join)
+	}
+	b.breakTarget = savedBreak
+	b.startBlock(join)
+}

@@ -1,0 +1,149 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Defs is the reaching-definitions fact: for each tracked location, the
+// set of assignment positions that may have produced its current value.
+type Defs map[Ref]map[token.Pos]bool
+
+func cloneDefs(d Defs) Defs {
+	out := make(Defs, len(d))
+	for r, set := range d {
+		cp := make(map[token.Pos]bool, len(set))
+		for p := range set {
+			cp[p] = true
+		}
+		out[r] = cp
+	}
+	return out
+}
+
+func joinDefs(a, b Defs) Defs {
+	out := cloneDefs(a)
+	for r, set := range b {
+		if _, ok := out[r]; !ok {
+			out[r] = make(map[token.Pos]bool, len(set))
+		}
+		for p := range set {
+			out[r][p] = true
+		}
+	}
+	return out
+}
+
+func equalDefs(a, b Defs) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for r, as := range a {
+		bs, ok := b[r]
+		if !ok || len(as) != len(bs) {
+			return false
+		}
+		for p := range as {
+			if !bs[p] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// gen records pos as the sole reaching definition of r (a strong
+// update): previous definitions of r and of locations within r are
+// killed.
+func (d Defs) gen(r Ref, pos token.Pos) {
+	for k := range d {
+		if k.Within(r) {
+			delete(d, k)
+		}
+	}
+	d[r] = map[token.Pos]bool{pos: true}
+}
+
+// reachingLattice builds the reaching-definitions instance for one
+// function. info resolves identifiers to objects.
+func reachingLattice(info *types.Info) Lattice[Defs] {
+	transfer := func(n ast.Node, in Defs) Defs {
+		out := cloneDefs(in)
+		switch n := n.(type) {
+		case *ast.AssignStmt, *ast.DeclStmt:
+			for _, as := range Assignments(n) {
+				if r, ok := RefOf(info, as.Lhs); ok {
+					out.gen(r, as.Lhs.Pos())
+				}
+			}
+		case *ast.RangeStmt:
+			if r, ok := RefOf(info, n.Key); n.Key != nil && ok {
+				out.gen(r, n.Key.Pos())
+			}
+			if r, ok := RefOf(info, n.Value); n.Value != nil && ok {
+				out.gen(r, n.Value.Pos())
+			}
+		case *ast.IncDecStmt:
+			if r, ok := RefOf(info, n.X); ok {
+				out.gen(r, n.X.Pos())
+			}
+		}
+		return out
+	}
+	return Lattice[Defs]{
+		Init:     Defs{},
+		Join:     joinDefs,
+		Equal:    equalDefs,
+		Transfer: transfer,
+	}
+}
+
+// Reaching computes reaching definitions over g and returns the fact at
+// each reachable block's entry.
+func Reaching(g *Graph, info *types.Info) map[*Block]Defs {
+	return Forward(g, reachingLattice(info))
+}
+
+// ReachingVisit replays g calling visit with the definitions reaching
+// each node.
+func ReachingVisit(g *Graph, info *types.Info, visit func(n ast.Node, before Defs)) {
+	ForwardVisit(g, reachingLattice(info), visit)
+}
+
+// InspectNode walks the parts of a CFG node that execute at that node
+// rather than inside nested statements. The builder adds only leaf
+// statements and expressions to blocks, with one exception: a RangeStmt
+// sits whole in its loop header while the body statements get their own
+// blocks — so for a RangeStmt only the key, value and range operand are
+// visited, never the body. Use this instead of ast.Inspect when walking
+// block nodes, or body code is visited twice (once with the header's
+// dataflow fact).
+func InspectNode(n ast.Node, f func(ast.Node) bool) {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		for _, e := range []ast.Expr{rs.Key, rs.Value, rs.X} {
+			if e != nil {
+				ast.Inspect(e, f)
+			}
+		}
+		return
+	}
+	ast.Inspect(n, f)
+}
+
+// FuncGraphs yields the CFG of every function declaration and function
+// literal in file, in source order. Literals get their own graphs —
+// flow analyses here are strictly intra-procedural.
+func FuncGraphs(file *ast.File, visit func(decl *ast.FuncDecl, lit *ast.FuncLit, g *Graph)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				visit(n, nil, New(n.Body))
+			}
+		case *ast.FuncLit:
+			visit(nil, n, New(n.Body))
+		}
+		return true
+	})
+}

@@ -1,0 +1,207 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Ref names a storage location an intra-procedural analysis can track: a
+// local variable or parameter, optionally narrowed to a chain of struct
+// fields ("x", "x.cfg.Seed", or through a pointer "p.*.Seed"). Refs are
+// comparable and usable as map keys.
+//
+// Expressions that do not resolve to such a location (index expressions,
+// calls, channel receives, globals through complex paths) have no Ref;
+// analyses fall back to their domain-specific default for those.
+type Ref struct {
+	Obj  types.Object // the root *types.Var
+	Path string       // "" for the variable itself; ".f.g" for fields
+}
+
+// IsZero reports whether r is the absent reference.
+func (r Ref) IsZero() bool { return r.Obj == nil }
+
+// Base returns the reference to r's root variable.
+func (r Ref) Base() Ref { return Ref{Obj: r.Obj} }
+
+// Within reports whether r is outer itself or a location inside it
+// (a field chain extending outer's path). Assigning to outer therefore
+// overwrites r; tainting outer taints r.
+func (r Ref) Within(outer Ref) bool {
+	if r.Obj != outer.Obj {
+		return false
+	}
+	return r.Path == outer.Path || strings.HasPrefix(r.Path, outer.Path+".")
+}
+
+// RefOf resolves e to a trackable location, unwrapping parentheses,
+// field selections and pointer dereferences. The boolean is false when
+// the expression is not a variable-rooted chain.
+func RefOf(info *types.Info, e ast.Expr) (Ref, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(e)
+		if v, ok := obj.(*types.Var); ok {
+			return Ref{Obj: v}, true
+		}
+		return Ref{}, false
+	case *ast.ParenExpr:
+		return RefOf(info, e.X)
+	case *ast.SelectorExpr:
+		// Only field selections extend a chain; method values and
+		// package-qualified names do not name storage we track.
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			base, ok := RefOf(info, e.X)
+			if !ok {
+				return Ref{}, false
+			}
+			return Ref{Obj: base.Obj, Path: base.Path + "." + e.Sel.Name}, true
+		}
+		return Ref{}, false
+	case *ast.StarExpr:
+		// *p: track through the pointer as a distinct component so that
+		// (*p).f and p.f unify via go/types' implicit deref in Selections.
+		base, ok := RefOf(info, e.X)
+		if !ok {
+			return Ref{}, false
+		}
+		return Ref{Obj: base.Obj, Path: base.Path + ".*"}, true
+	}
+	return Ref{}, false
+}
+
+// Store is the workhorse fact domain for taint analyses: a map from
+// locations to an analyzer-defined taint value. The zero Store is empty.
+type Store[T comparable] map[Ref]T
+
+// Get returns the taint on r, falling back to any enclosing location
+// (a tainted struct taints its fields). The boolean reports whether any
+// binding applied.
+func (s Store[T]) Get(r Ref) (T, bool) {
+	if v, ok := s[r]; ok {
+		return v, true
+	}
+	// Walk outwards: x.a.b falls back to x.a, then x.
+	for cur := r; cur.Path != ""; {
+		i := strings.LastIndex(cur.Path, ".")
+		cur.Path = cur.Path[:i]
+		if v, ok := s[cur]; ok {
+			return v, true
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+// Set binds r strongly: any previous binding of r or of a location
+// inside r is erased first, then r maps to v.
+func (s Store[T]) Set(r Ref, v T) {
+	s.Clear(r)
+	s[r] = v
+}
+
+// Clear removes the bindings of r and everything inside it.
+func (s Store[T]) Clear(r Ref) {
+	for k := range s {
+		if k.Within(r) {
+			delete(s, k)
+		}
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s Store[T]) Clone() Store[T] {
+	out := make(Store[T], len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Equal reports whether two stores carry identical bindings.
+func (s Store[T]) Equal(o Store[T]) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k, v := range s {
+		if ov, ok := o[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// JoinStores merges two stores with the provided per-value join,
+// returning a new store. A location bound in only one input keeps its
+// binding.
+func JoinStores[T comparable](a, b Store[T], join func(T, T) T) Store[T] {
+	out := a.Clone()
+	for k, v := range b {
+		if av, ok := out[k]; ok {
+			out[k] = join(av, v)
+		} else {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Assignment is one lhs <- rhs pair extracted from an assignment or
+// declaration statement. For tuple assignments from a single call
+// (x, y := f()), Rhs is the call for every lhs and TupleIndex gives the
+// result slot; otherwise TupleIndex is -1.
+type Assignment struct {
+	Lhs        ast.Expr
+	Rhs        ast.Expr // nil for zero-value declarations (var x T)
+	TupleIndex int
+}
+
+// Assignments flattens an *ast.AssignStmt or *ast.DeclStmt (var/const
+// GenDecl) into lhs/rhs pairs. Statements that assign nothing return
+// nil.
+func Assignments(n ast.Node) []Assignment {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		return pairs(n.Lhs, n.Rhs)
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return nil
+		}
+		var out []Assignment
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			lhs := make([]ast.Expr, len(vs.Names))
+			for i, name := range vs.Names {
+				lhs[i] = name
+			}
+			out = append(out, pairs(lhs, vs.Values)...)
+		}
+		return out
+	}
+	return nil
+}
+
+func pairs(lhs, rhs []ast.Expr) []Assignment {
+	var out []Assignment
+	switch {
+	case len(rhs) == len(lhs):
+		for i := range lhs {
+			out = append(out, Assignment{Lhs: lhs[i], Rhs: rhs[i], TupleIndex: -1})
+		}
+	case len(rhs) == 1:
+		// x, y = f()  /  x, ok = m[k]  /  v, ok = x.(T)
+		for i := range lhs {
+			out = append(out, Assignment{Lhs: lhs[i], Rhs: rhs[0], TupleIndex: i})
+		}
+	case len(rhs) == 0:
+		for i := range lhs {
+			out = append(out, Assignment{Lhs: lhs[i], Rhs: nil, TupleIndex: -1})
+		}
+	}
+	return out
+}

@@ -29,6 +29,19 @@
 //     allocation-free at the AST level: no closures, interface boxing,
 //     map/slice literals, append, fmt, or string concatenation
 //     (see hotalloc.go);
+//   - maporder: flow-sensitive — a value produced by ranging over a map
+//     is tainted "unordered" and may not reach a core.Result field, the
+//     experiment table emitters, or an fmt/writer sink unless a
+//     sort.*/slices.Sort* call kills the taint (see maporder.go);
+//   - seedtaint: flow-sensitive — every value feeding an RNG
+//     construction must be data-flow-reachable from Config.Seed, a
+//     seed-named parameter, or a sim.StreamSeed derivation, through
+//     locals, struct fields and same-package helper returns
+//     (see seedtaint.go);
+//   - escapecheck: cross-checks `//airlint:hotpath` functions against
+//     the compiler's actual escape analysis (`go build -gcflags='-m
+//     -m'`); runs only when escape data is supplied (airlint -escape)
+//     (see escapecheck.go);
 //   - directive: `//airlint:allow <analyzer> <reason>` suppressions and
 //     the `//airlint:hotpath` marker, with unknown verbs, unknown
 //     analyzers, unused suppressions and misplaced markers reported as
@@ -84,6 +97,11 @@ type Pass struct {
 	// "internal/experiments/parallel.go").
 	RelFile map[*ast.File]string
 
+	// Escapes holds the compiler escape diagnostics for the build, when
+	// the caller supplied them (Options.Escapes). Nil in ordinary runs;
+	// escapecheck is skipped without it.
+	Escapes *EscapeData
+
 	diags *[]Diagnostic
 }
 
@@ -134,6 +152,7 @@ func Analyzers() []*Analyzer {
 		DeterminismAnalyzer, FloatCompareAnalyzer, ConfinementAnalyzer,
 		UnitSafetyAnalyzer, ExhaustiveAnalyzer,
 		MergeCompleteAnalyzer, RNGDisciplineAnalyzer, ByteClockAnalyzer, HotAllocAnalyzer,
+		MapOrderAnalyzer, SeedTaintAnalyzer, EscapeCheckAnalyzer,
 	}
 }
 
@@ -164,6 +183,23 @@ func CheckAll(pkgs []*Package) []Diagnostic {
 // directives for deselected analyzers are ignored rather than reported
 // unused. An unknown analyzer name is an error.
 func CheckOnly(pkgs []*Package, only []string) ([]Diagnostic, error) {
+	return CheckWith(pkgs, Options{Only: only})
+}
+
+// Options configures a check run.
+type Options struct {
+	// Only restricts the run to the named analyzers; empty means all.
+	Only []string
+	// Escapes supplies compiler escape diagnostics (RunEscapeBuild).
+	// Without it, escapecheck is skipped — and its //airlint:allow
+	// suppressions are ignored rather than reported stale, so ordinary
+	// runs never demand a -gcflags build.
+	Escapes *EscapeData
+}
+
+// CheckWith runs the selected analyzers over the packages with the
+// given options; see CheckOnly and CheckAll for the common wrappers.
+func CheckWith(pkgs []*Package, opts Options) ([]Diagnostic, error) {
 	known := make(map[string]bool)
 	var names []string
 	for _, a := range Analyzers() {
@@ -172,15 +208,23 @@ func CheckOnly(pkgs []*Package, only []string) ([]Diagnostic, error) {
 	}
 	sort.Strings(names)
 	active := make(map[string]bool)
-	if len(only) == 0 {
-		active = known
+	if len(opts.Only) == 0 {
+		for n := range known {
+			active[n] = true
+		}
 	} else {
-		for _, n := range only {
+		for _, n := range opts.Only {
 			if !known[n] {
 				return nil, fmt.Errorf("lint: unknown analyzer %q (known: %s)", n, strings.Join(names, ", "))
 			}
 			active[n] = true
 		}
+	}
+	if opts.Escapes == nil {
+		if len(opts.Only) > 0 && active[EscapeCheckAnalyzer.Name] {
+			return nil, fmt.Errorf("lint: analyzer %q needs compiler escape data; run airlint with -escape", EscapeCheckAnalyzer.Name)
+		}
+		delete(active, EscapeCheckAnalyzer.Name)
 	}
 
 	raws := make([][]Diagnostic, len(pkgs))
@@ -198,6 +242,7 @@ func CheckOnly(pkgs []*Package, only []string) ([]Diagnostic, error) {
 				Info:     pkg.Info,
 				RelPath:  pkg.RelPath,
 				RelFile:  pkg.RelFile,
+				Escapes:  opts.Escapes,
 				diags:    &raw,
 			}
 			a.Run(pass)

@@ -198,6 +198,35 @@ func TestAnalyzers(t *testing.T) {
 			"noreason.go:7: determinism",
 			"noreason.go:7: directive",
 		}},
+		// maporder: map-iteration-ordered keys reach a CSV writer, an
+		// fmt sink and a core.Result field without a sort in between.
+		{"internal/experiments/mapbad", []string{
+			"mapbad.go:24: maporder",
+			"mapbad.go:34: maporder",
+			"mapbad.go:43: maporder",
+			"mapbad.go:54: maporder",
+		}},
+		// maporder negatives: sort kills the taint on every path, and
+		// len() of a tainted slice is order-free.
+		{"internal/experiments/mapgood", nil},
+		// seedtaint negatives: seed laundered through struct fields and
+		// a same-package helper still traces back to the seed plane.
+		{"internal/core/seedgood", nil},
+		// seedtaint: wall clock laundered through a struct field, a
+		// seed with no plane ancestry, a non-seed-named parameter, and
+		// a wall-clock write into the plane. determinism co-reports the
+		// raw time.Now reads (internal/core is in its scope).
+		{"internal/core/seedbad", []string{
+			"seedbad.go:17: determinism",
+			"seedbad.go:19: seedtaint",
+			"seedbad.go:25: seedtaint",
+			"seedbad.go:31: seedtaint",
+			"seedbad.go:36: seedtaint",
+			"seedbad.go:36: determinism",
+		}},
+		// escapecheck is inactive without compiler escape data: the
+		// escaping hotpaths and their allow directive both stay quiet.
+		{"internal/schemes/escape", nil},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rel, func(t *testing.T) {

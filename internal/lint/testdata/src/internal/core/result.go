@@ -1,0 +1,10 @@
+package core
+
+// Result mirrors the production merged-run result just enough for the
+// maporder analyzer's sink rule: a named struct called Result in a
+// package path ending internal/core. It deliberately has no Merge
+// method, so mergecomplete has nothing to check here.
+type Result struct {
+	Summary string
+	Params  map[string]float64
+}

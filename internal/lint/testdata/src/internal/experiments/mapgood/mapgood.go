@@ -1,0 +1,46 @@
+// Package mapgood emits map-keyed data correctly: the collected keys
+// pass through a sort before any sink, which kills the "unordered"
+// taint along every path the analyzer tracks — including through a
+// branch join and a strings.Join launder.
+package mapgood
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// EmitCSV is the canonical pattern: collect, sort, emit.
+func EmitCSV(w *csv.Writer, params map[string]float64) error {
+	var keys []string
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return w.Write(keys)
+}
+
+// EmitText sorts before the launder; the joined line is clean.
+func EmitText(out io.Writer, params map[string]float64, verbose bool) {
+	var keys []string
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	line := strings.Join(keys, ",")
+	if verbose {
+		line += fmt.Sprintf(" (%d params)", len(params))
+	}
+	fmt.Fprintln(out, line)
+}
+
+// Count never leaks ordering: the number of entries is order-free.
+func Count(out io.Writer, params map[string]float64) {
+	var keys []string
+	for k := range params {
+		keys = append(keys, k)
+	}
+	fmt.Fprintf(out, "%d\n", len(keys))
+}

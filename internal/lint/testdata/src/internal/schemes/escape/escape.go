@@ -1,0 +1,43 @@
+// Package escape exercises escapecheck. hotalloc's AST rules cannot
+// see that returning a pointer to a local moves the local to the heap —
+// there is no composite literal, append, closure or boxing to match.
+// The compiler's escape analysis is the ground truth; escapecheck
+// replays its verdicts against the //airlint:hotpath markers. The test
+// harness supplies the verdicts (lint_test.go builds EscapeData for
+// the exact lines below), so keep line numbers stable.
+package escape
+
+// Sum is genuinely allocation-free; neither analyzer objects.
+//
+//airlint:hotpath
+func Sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Leak returns a pointer to a stack local: invisible to hotalloc,
+// caught by the compiler (moved to heap: v) on line 25.
+//
+//airlint:hotpath
+func Leak() *int {
+	v := 42
+	return &v
+}
+
+// Sanctioned escapes too, but under a justified suppression.
+//
+//airlint:hotpath
+func Sanctioned() *int {
+	//airlint:allow escapecheck fixture: sanctioned escape kept to prove suppression works
+	w := 7
+	return &w
+}
+
+// Free is not hotpath-marked; its escape is not airlint's business.
+func Free() *int {
+	u := 1
+	return &u
+}

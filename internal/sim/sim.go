@@ -137,6 +137,7 @@ func (s *Simulator) Run(maxEvents int64) error {
 			return ErrStopped
 		}
 		if maxEvents > 0 && fired >= maxEvents {
+			//airlint:allow escapecheck fmt.Errorf boxes its operands on this terminal error path
 			return fmt.Errorf("sim: event budget %d exhausted at t=%d with %d pending", maxEvents, s.now, len(s.queue)) //airlint:allow hotalloc terminal budget-exhaustion path, once per failed run
 		}
 		ev := heap.Pop(&s.queue).(*Event)

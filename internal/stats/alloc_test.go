@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// hotpathMethods parses the package's non-test sources and returns every
+// exported function or method whose doc comment carries
+// //airlint:hotpath, as "Recv.Name" (or a bare name for functions).
+func hotpathMethods(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil || !fd.Name.IsExported() {
+					continue
+				}
+				marked := false
+				for _, c := range fd.Doc.List {
+					if strings.TrimSpace(c.Text) == "//airlint:hotpath" {
+						marked = true
+					}
+				}
+				if !marked {
+					continue
+				}
+				name := fd.Name.Name
+				if fd.Recv != nil && len(fd.Recv.List) == 1 {
+					typ := fd.Recv.List[0].Type
+					if star, ok := typ.(*ast.StarExpr); ok {
+						typ = star.X
+					}
+					if id, ok := typ.(*ast.Ident); ok {
+						name = id.Name + "." + name
+					}
+				}
+				names = append(names, name)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TestAccumulatorsAllocFree is the runtime backstop behind escapecheck
+// for the per-observation accumulators: every exported hotpath method
+// must hold 0 allocs/op in steady state. The Quantile estimator is
+// warmed past its five-observation initialization first — that phase
+// buffers into a slice by design and carries its own hotalloc allow.
+func TestAccumulatorsAllocFree(t *testing.T) {
+	s := &Sample{}
+	q := MustQuantile(0.95)
+	for i := 0; i < 32; i++ {
+		q.Add(float64(i % 7))
+	}
+	i := 0
+
+	table := map[string]func(){
+		"Sample.Add": func() {
+			i++
+			s.Add(float64(i % 11))
+		},
+		"Quantile.Add": func() {
+			i++
+			q.Add(float64(i % 11))
+		},
+	}
+
+	want := hotpathMethods(t)
+	if len(want) == 0 {
+		t.Fatal("no exported //airlint:hotpath functions found; parser or markers broken")
+	}
+	for _, name := range want {
+		fn, ok := table[name]
+		if !ok {
+			t.Errorf("exported hotpath function %s has no allocation-test row", name)
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			if avg := testing.AllocsPerRun(200, fn); avg != 0 {
+				t.Errorf("%s allocates %v times per run, want 0", name, avg)
+			}
+		})
+	}
+	for name := range table {
+		found := false
+		for _, w := range want {
+			if w == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("allocation-test row %s does not match any exported hotpath function", name)
+		}
+	}
+}
