@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-only lint-flow lint-escape test test-race cover bench experiments experiments-fast faults-sweep multich-sweep examples clean
+.PHONY: all build vet lint lint-only lint-flow lint-escape test test-race cover bench bench-gate bench-baseline experiments experiments-fast faults-sweep multich-sweep examples clean
 
 all: build vet lint test
 
@@ -46,6 +46,18 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Benchmark-regression gate: fail if the cohort engine's throughput
+# advantage over the reference event engine regresses >15% against
+# ci/bench-baseline.json. The gate pins the engines' speed *ratio*, not
+# raw req/s, so it holds on slower CI machines.
+bench-gate:
+	$(GO) run ./cmd/airgate
+
+# Re-measure and rewrite the gate baseline (after a deliberate change
+# to either engine's performance profile).
+bench-baseline:
+	$(GO) run ./cmd/airgate -update
 
 # Regenerate every paper table/figure at Table 1 settings (a few minutes).
 experiments:

@@ -41,6 +41,7 @@ func run(args []string, out io.Writer) error {
 	plot := fs.Bool("plot", false, "also render each table as an ASCII chart")
 	seed := fs.Int64("seed", 0, "seed override (0 = default)")
 	shards := fs.Int("shards", 0, "shards per simulation run; results depend on (seed, shards) only (0 = sequential)")
+	engine := fs.String("engine", "", "request engine for every point: events (default) or cohort; results are bit-identical")
 	quiet := fs.Bool("quiet", false, "suppress per-point progress lines")
 	faultModel := fs.String("fault-model", "none", "apply an unreliable-channel error model to every point: none, iid, ge, drop")
 	faultRate := fs.Float64("fault-rate", 0, "headline error rate for -fault-model [0,1): per-bucket loss (drop), per-bit BER (iid), bad-state corruption rate (ge)")
@@ -58,7 +59,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("no experiments given; use 'all' or any of: %s", strings.Join(experiments.IDs(), " "))
 	}
 
-	opt := experiments.Options{Fast: *fast, Seed: *seed, Shards: *shards}
+	opt := experiments.Options{Fast: *fast, Seed: *seed, Shards: *shards, Engine: *engine}
 	model, err := faults.ParseModel(*faultModel)
 	if err != nil {
 		return err

@@ -1,0 +1,174 @@
+// Command airgate is the benchmark-regression gate for the columnar
+// cohort engine. It times a pinned flat-broadcast workload on both
+// request engines, computes the cohort/reference throughput ratio, and
+// fails when that ratio has regressed by more than the allowed fraction
+// against the checked-in baseline (ci/bench-baseline.json).
+//
+// The gate compares the *ratio* between the two engines rather than raw
+// requests/sec, so it tolerates slower or faster CI machines: both
+// engines run on the same hardware in the same process, and only their
+// relative speed is pinned. The workload forces MinRequests ==
+// MaxRequests so every run executes exactly the same request count (the
+// stopping rule is only consulted once the cap is reached).
+//
+// Usage:
+//
+//	airgate                 # gate against ci/bench-baseline.json
+//	airgate -update         # re-measure and rewrite the baseline
+//	airgate -trials 5       # more trials (best-of-N wall clock)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/airindex/airindex/internal/core"
+)
+
+// The pinned workload. Flat over 2,000 records keeps a trial under a
+// second while exercising the cohort engine's resolver fast path and the
+// reference engine's full event loop; the request counts are sized so
+// setup cost is amortised for each engine at its own speed.
+const (
+	gateScheme       = "flat"
+	gateRecords      = 2000
+	gateSeed         = 42
+	gateRefRequests  = 40000
+	gateCohRequests  = 400000
+	defaultTrials    = 3
+	defaultBaseline  = "ci/bench-baseline.json"
+	defaultTolerance = 0.15 // fail on >15% ratio regression
+)
+
+// baseline is the checked-in measurement the gate compares against.
+type baseline struct {
+	Scheme            string  `json:"scheme"`
+	Records           int     `json:"records"`
+	ReferenceRequests int     `json:"reference_requests"`
+	CohortRequests    int     `json:"cohort_requests"`
+	Trials            int     `json:"trials"`
+	ReferenceRPS      float64 `json:"reference_rps"`
+	CohortRPS         float64 `json:"cohort_rps"`
+	Ratio             float64 `json:"ratio"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "airgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("airgate", flag.ContinueOnError)
+	baselinePath := fs.String("baseline", defaultBaseline, "baseline JSON to gate against")
+	update := fs.Bool("update", false, "re-measure and rewrite the baseline instead of gating")
+	trials := fs.Int("trials", defaultTrials, "wall-clock trials per engine (best of N)")
+	tolerance := fs.Float64("tolerance", defaultTolerance, "allowed cohort/reference ratio regression fraction")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *trials < 1 {
+		return fmt.Errorf("need at least one trial, got %d", *trials)
+	}
+	if *tolerance <= 0 || *tolerance >= 1 {
+		return fmt.Errorf("tolerance must be in (0,1), got %g", *tolerance)
+	}
+
+	refRPS, err := measure(core.EngineEvents, gateRefRequests, *trials)
+	if err != nil {
+		return err
+	}
+	cohRPS, err := measure(core.EngineCohort, gateCohRequests, *trials)
+	if err != nil {
+		return err
+	}
+	ratio := cohRPS / refRPS
+	fmt.Printf("reference  %12.0f req/s  (%s, %d records, %d requests, best of %d)\n",
+		refRPS, gateScheme, gateRecords, gateRefRequests, *trials)
+	fmt.Printf("cohort     %12.0f req/s  (%s, %d records, %d requests, best of %d)\n",
+		cohRPS, gateScheme, gateRecords, gateCohRequests, *trials)
+	fmt.Printf("ratio      %12.2fx\n", ratio)
+
+	if *update {
+		b := baseline{
+			Scheme:            gateScheme,
+			Records:           gateRecords,
+			ReferenceRequests: gateRefRequests,
+			CohortRequests:    gateCohRequests,
+			Trials:            *trials,
+			ReferenceRPS:      refRPS,
+			CohortRPS:         cohRPS,
+			Ratio:             ratio,
+		}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("baseline   wrote %s\n", *baselinePath)
+		return nil
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return fmt.Errorf("no baseline (run with -update to create one): %w", err)
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", *baselinePath, err)
+	}
+	if base.Ratio <= 0 {
+		return fmt.Errorf("%s has no positive ratio; rerun with -update", *baselinePath)
+	}
+	floor := base.Ratio * (1 - *tolerance)
+	fmt.Printf("baseline   %12.2fx  (floor %.2fx at %g tolerance)\n", base.Ratio, floor, *tolerance)
+	if ratio < floor {
+		return fmt.Errorf("cohort/reference throughput ratio %.2fx regressed below %.2fx (baseline %.2fx - %g%%)",
+			ratio, floor, base.Ratio, *tolerance*100)
+	}
+	fmt.Println("gate       PASS")
+	return nil
+}
+
+// measure returns the best requests/sec over n trials of the pinned
+// workload on the given engine. Each trial builds a fresh simulator
+// outside the timed region, so datagen and cycle construction do not
+// dilute the engine's own throughput.
+func measure(engine string, requests, n int) (float64, error) {
+	cfg := core.DefaultConfig(gateScheme, gateRecords)
+	cfg.Seed = gateSeed
+	cfg.Engine = engine
+	cfg.RoundSize = 500
+	// MinRequests == MaxRequests forces the exact request count: the
+	// stopping rule cannot fire before the cap.
+	cfg.MinRequests = requests
+	cfg.MaxRequests = requests
+	best := 0.0
+	for i := 0; i < n; i++ {
+		s, err := core.New(cfg)
+		if err != nil {
+			return 0, err
+		}
+		//airlint:allow determinism wall-clock timing of the CLI itself, not of simulated runs
+		start := time.Now()
+		res, err := s.Run()
+		if err != nil {
+			return 0, err
+		}
+		//airlint:allow determinism wall-clock timing of the CLI itself, not of simulated runs
+		elapsed := time.Since(start)
+		if res.Requests != int64(requests) {
+			return 0, fmt.Errorf("%s engine ran %d requests, want exactly %d", engine, res.Requests, requests)
+		}
+		if rps := float64(requests) / elapsed.Seconds(); rps > best {
+			best = rps
+		}
+	}
+	return best, nil
+}

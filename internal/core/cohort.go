@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/airindex/airindex/internal/access"
+	"github.com/airindex/airindex/internal/cohort"
+	"github.com/airindex/airindex/internal/faults"
+	"github.com/airindex/airindex/internal/sim"
+)
+
+// This file is the columnar cohort engine (Config.Engine ==
+// EngineCohort): the batched counterpart of the event-driven paths in
+// simulator.go and engine.go, built to push 10⁶-client request
+// populations through the unchanged scheme implementations. The run is
+// organized exactly like the round-sharded engine's waves — one round of
+// RoundSize requests per still-active stream, merge, stopping rule — but
+// each round is a cohort.Batch: the stream pre-draws the round's
+// (arrival, key) pairs into columns in the precise RNG order the event
+// engine would have used, advances every lane with a batched kernel (or
+// the ordinary walkers, lane by lane, when per-stream fault state forces
+// arrival order), and folds the result columns into the same shardAccum
+// that engine.go merges. Merging a single stream's accumulator into an
+// empty Result is an exact copy, so the engines agree bit for bit at any
+// shard count; the differential tests in cohort_test.go pin that.
+//
+// Unlike the sharded event engine the cohort engine is single-threaded:
+// its throughput comes from batching (closed-form access.Resolver
+// kernels, inlined walk loops, client-arena reuse, bulk Welford/P²
+// folds), not from goroutines, so determinism is structural.
+
+// cohortShard is one request stream of a cohort run: its own RNG
+// substream, fault substream, budget, and batch arena. With one stream
+// it reproduces the sequential path's request stream byte for byte; with
+// n > 1 it mirrors shardRunner's SplitMix substreams.
+type cohortShard struct {
+	idx    int
+	rng    *sim.RNG
+	zipf   func() int       // nil for the uniform workload
+	inj    *faults.Injector // stream's fault substream; nil on a perfect channel
+	budget int64            // request cap; stream budgets sum to MaxRequests
+	next   sim.Time         // the pending arrival time of the stream's next request
+	done   bool             // budget exhausted
+
+	batch *cohort.Batch
+	// reuse is the stream's rewindable client for the lane-ordered
+	// walker paths; it stays nil when the scheme does not implement
+	// access.Rewinder, in which case renew allocates fresh per call.
+	reuse  access.Client
+	curKey uint64
+	renew  func() access.Client
+
+	acc shardAccum
+}
+
+// newCohortShard builds stream i of n. The RNG, zipf, injector, budget
+// and first-arrival draw replicate newShardRunner's setup order exactly,
+// so the generated request stream is identical to the event engine's.
+func (s *Simulator) newCohortShard(i, n int) *cohortShard {
+	rng := sim.NewRNG(s.cfg.Seed)
+	if n > 1 {
+		rng = sim.NewShardRNG(s.cfg.Seed, i)
+	}
+	sh := &cohortShard{
+		idx:    i,
+		rng:    rng,
+		inj:    s.newInjector(i),
+		budget: int64(s.cfg.MaxRequests / n),
+		batch:  cohort.New(),
+		acc:    newShardAccum(),
+	}
+	if i < s.cfg.MaxRequests%n {
+		sh.budget++
+	}
+	if s.cfg.ZipfS > 1 {
+		sh.zipf = rng.Zipf(s.cfg.ZipfS, s.ds.Len())
+	}
+	// One renew closure per stream, reused by every restart of every
+	// lane: the recovery walkers discard their old client reference
+	// before asking for a new one, so handing back the same rewound
+	// object is indistinguishable from a fresh allocation.
+	sh.renew = func() access.Client {
+		if rw, ok := sh.reuse.(access.Rewinder); ok {
+			rw.Rewind(sh.curKey)
+			return sh.reuse
+		}
+		c := s.bc.NewClient(sh.curKey)
+		if _, ok := c.(access.Rewinder); ok {
+			sh.reuse = c
+		}
+		return c
+	}
+	// The event engine's setup schedules the first arrival before any
+	// key is drawn; the pending-arrival draw keeps that stream order.
+	sh.next = sh.rng.Exponential(s.cfg.RequestMean)
+	return sh
+}
+
+// cohortGenerate pre-draws one round of requests into the batch columns.
+// The per-request draw order matches the event engine's arrival handler
+// — key first, then the exponential gap to the next arrival — with the
+// already-pending arrival consumed as lane i's time. The final gap draw
+// may not occur in the event engine when the run stops at this round's
+// boundary; since the stream is never sampled again after a stop, the
+// difference is unobservable.
+func (s *Simulator) cohortGenerate(sh *cohortShard, n int) {
+	b := sh.batch
+	b.Reset(n)
+	for i := 0; i < n; i++ {
+		b.Arrival[i] = sh.next
+		b.Key[i] = s.pickKey(sh.rng, sh.zipf)
+		sh.next += sh.rng.Exponential(s.cfg.RequestMean)
+	}
+}
+
+// primeCohortClients readies the Clients column for the stepped kernel:
+// rewindable clients are reset in place (zero steady-state allocations),
+// anything else is allocated fresh for its lane.
+func (s *Simulator) primeCohortClients(b *cohort.Batch) {
+	for i := 0; i < b.Len(); i++ {
+		if rw, ok := b.Clients[i].(access.Rewinder); ok {
+			rw.Rewind(b.Key[i])
+			continue
+		}
+		b.Clients[i] = s.bc.NewClient(b.Key[i])
+	}
+}
+
+// cohortAdvance resolves every lane of the current batch. Clean
+// single-channel batches take the columnar kernels — the closed-form
+// resolver when the scheme offers one, the inlined walk loop otherwise.
+// Fault-injected and multichannel batches share mutable per-stream state
+// (the corruption counter), so they walk lane by lane in arrival order
+// through the exact entry points the event engine uses.
+func (s *Simulator) cohortAdvance(sh *cohortShard, resolver access.Resolver) error {
+	b := sh.batch
+	if s.set == nil && sh.inj == nil {
+		if resolver != nil && b.ResolveLanes(resolver) {
+			return nil
+		}
+		s.primeCohortClients(b)
+		if !b.AdvanceClean(s.bc.Channel(), 0) {
+			return cohortFailErr(b)
+		}
+		return nil
+	}
+	return s.cohortWalkLanes(sh)
+}
+
+// cohortFailErr materializes a failed lane's error with the same message
+// access.Walk would have returned, off the hot path.
+func cohortFailErr(b *cohort.Batch) error {
+	switch b.FailKind {
+	case cohort.FailPastDoze:
+		return fmt.Errorf("access: client dozed into the past: %d < %d", b.FailArg1, b.FailArg2)
+	case cohort.FailBadStep:
+		return fmt.Errorf("access: invalid step kind %d", b.FailArg1)
+	default:
+		return fmt.Errorf("access: query exceeded %d steps without terminating", b.FailArg1)
+	}
+}
+
+// cohortWalkLanes drives each lane to completion in arrival order with
+// the event engine's walkers, filling the result columns. Per-lane
+// injector sequencing (StartRequest before the walk) matches runRequest,
+// so the corruption stream lines up request for request.
+func (s *Simulator) cohortWalkLanes(sh *cohortShard) error {
+	b := sh.batch
+	pol := s.recoverPolicy()
+	for i := 0; i < b.Len(); i++ {
+		sh.curKey = b.Key[i]
+		arrival := b.Arrival[i]
+		var r access.MultiResult
+		var err error
+		switch {
+		case s.set != nil && sh.inj != nil:
+			sh.inj.StartRequest()
+			r, err = access.WalkRecoverMulti(s.set, sh.renew, arrival, sh.inj, pol, 0)
+		case s.set != nil:
+			r, err = access.WalkMulti(s.set, sh.renew(), arrival, 0)
+		default: // sh.inj != nil: single-channel fault recovery
+			sh.inj.StartRequest()
+			var fr access.FaultyResult
+			fr, err = access.WalkRecover(s.bc.Channel(), sh.renew, arrival, sh.inj, pol, 0)
+			r = access.MultiResult{FaultyResult: fr}
+		}
+		if err != nil {
+			return err
+		}
+		b.Access[i] = r.Access
+		b.Tuning[i] = r.Tuning
+		b.Probes[i] = r.Probes
+		b.Found[i] = r.Found
+		b.Restarts[i] = r.Restarts
+		b.Wasted[i] = r.Wasted
+		b.Unrecovered[i] = r.Unrecovered
+		b.Switches[i] = r.Switches
+		b.SwitchWait[i] = r.SwitchWait
+		b.State[i] = cohort.LaneDone
+	}
+	return nil
+}
+
+// foldCohort folds the completed batch into the stream's accumulator.
+// Scalar counters are order-free; the float columns go through the bulk
+// Welford/P² folds, which append lane-by-lane in arrival order — the
+// same per-estimator Add sequence the event engine produces, so the
+// folded sample state is bit-identical. Each completed request counts as
+// one engine event, matching the event engines' one-arrival-per-request
+// accounting.
+//
+//airlint:hotpath
+func (s *Simulator) foldCohort(sh *cohortShard) {
+	b := sh.batch
+	a := &sh.acc
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		if b.Found[i] {
+			a.found++
+		} else {
+			a.notFound++
+		}
+		a.restarts += int64(b.Restarts[i])
+		a.wasted += int64(b.Wasted[i])
+		if b.Unrecovered[i] {
+			a.unrecovered++
+		}
+		a.switches += int64(b.Switches[i])
+		a.switchWait += int64(b.SwitchWait[i])
+		b.AccessF[i] = float64(b.Access[i])
+		b.TuningF[i] = float64(b.Tuning[i])
+		b.EnergyF[i] = float64(b.Tuning[i]) + s.cfg.DozePowerRatio*float64(b.Access[i]-b.Tuning[i])
+		b.ProbesF[i] = float64(b.Probes[i])
+	}
+	a.requests += int64(n)
+	a.events += int64(n)
+	a.access.AddAll(b.AccessF)
+	a.tuning.AddAll(b.TuningF)
+	a.energy.AddAll(b.EnergyF)
+	a.probes.AddAll(b.ProbesF)
+	a.accessP95.AddAll(b.AccessF)
+	a.accessP99.AddAll(b.AccessF)
+	a.tuningP95.AddAll(b.TuningF)
+	a.tuningP99.AddAll(b.TuningF)
+}
+
+// cohortAccums collects the streams' accumulators in index order for the
+// shared merge.
+func cohortAccums(shards []*cohortShard) []*shardAccum {
+	accs := make([]*shardAccum, len(shards))
+	for i, sh := range shards {
+		accs[i] = &sh.acc
+	}
+	return accs
+}
+
+// runCohort executes the run on the columnar engine, at any shard count
+// (Shards <= 1 is a single stream reproducing the sequential path). The
+// control flow mirrors runSharded wave for wave: each active stream runs
+// one round — capped at its remaining budget, with the event engine's
+// post-request budget check meaning even a zero-budget stream serves one
+// request — then the merged sample faces the stopping rule on a complete
+// wave and the cap rule otherwise.
+func (s *Simulator) runCohort() (*Result, error) {
+	resolver, _ := s.bc.(access.Resolver)
+	n := s.cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	shards := make([]*cohortShard, n)
+	for i := range shards {
+		shards[i] = s.newCohortShard(i, n)
+	}
+
+	for {
+		anyActive := false
+		waveComplete := true
+		for _, sh := range shards {
+			if sh.done {
+				continue
+			}
+			anyActive = true
+			rem := sh.budget - sh.acc.requests
+			if rem < 1 {
+				rem = 1 // post-request budget check: a zero-budget stream still serves one
+			}
+			batchN := s.cfg.RoundSize
+			if int64(batchN) > rem {
+				batchN = int(rem)
+				waveComplete = false
+			}
+			s.cohortGenerate(sh, batchN)
+			if err := s.cohortAdvance(sh, resolver); err != nil {
+				return nil, err
+			}
+			s.foldCohort(sh)
+			if batchN == s.cfg.RoundSize {
+				sh.acc.rounds++
+			}
+			if sh.acc.requests >= sh.budget {
+				sh.done = true
+			}
+		}
+		if !anyActive {
+			break // every stream exhausted its budget without converging
+		}
+		merged := s.mergeShards(cohortAccums(shards))
+		if waveComplete && s.accuracyMet(merged) && merged.Requests >= int64(s.cfg.MinRequests) {
+			merged.Converged = true
+			return merged, nil
+		}
+		if merged.Requests >= int64(s.cfg.MaxRequests) {
+			merged.Converged = s.accuracyMet(merged) && merged.Requests >= int64(s.cfg.MinRequests)
+			return merged, nil
+		}
+	}
+	final := s.mergeShards(cohortAccums(shards))
+	final.Converged = s.accuracyMet(final) && final.Requests >= int64(s.cfg.MinRequests)
+	return final, nil
+}

@@ -52,7 +52,9 @@ type Config struct {
 	Confidence float64
 	// Accuracy is the target confidence accuracy H/Y (0.01).
 	Accuracy float64
-	// MinRequests keeps the run going even after convergence.
+	// MinRequests keeps the run going even after convergence. It must
+	// not exceed MaxRequests: the cap fires first in every engine, so a
+	// larger MinRequests would silently make Converged unreachable.
 	MinRequests int
 	// MaxRequests bounds the run if convergence is slow.
 	MaxRequests int
@@ -60,14 +62,27 @@ type Config struct {
 	// Seed makes the run reproducible.
 	Seed int64
 
+	// Engine selects the request engine. EngineEvents ("" or "events")
+	// is the reference event-driven path (runSequential / runSharded);
+	// EngineCohort ("cohort") is the batched columnar engine, which
+	// advances whole rounds of requests through struct-of-arrays kernels
+	// and closed-form resolvers while reproducing the reference engine's
+	// Result bit for bit (see DESIGN.md). The legacy BitErrorRate layer
+	// draws from the arrival RNG in the middle of a walk and is the one
+	// configuration the cohort engine cannot replay; Validate rejects
+	// that combination.
+	Engine string
+
 	// Shards splits the accuracy-control rounds across this many
 	// independent event loops, each drawing its arrival process from the
 	// SplitMix substream splitmix(Seed, shard) against the shared
 	// immutable broadcast image. The stopping rule is applied to the
 	// merged sample after every wave of rounds, so a run's Result is a
 	// pure function of (Seed, Shards) — bit-identical regardless of
-	// GOMAXPROCS or goroutine scheduling. 0 or 1 selects the sequential
-	// single-stream path, whose request stream matches pre-sharding runs.
+	// GOMAXPROCS or goroutine scheduling. The field must be
+	// non-negative; 0 and 1 are equivalent and both select the
+	// sequential single-stream path, whose request stream matches
+	// pre-sharding runs.
 	Shards int
 
 	// BitErrorRate corrupts each bucket read independently with this
@@ -163,6 +178,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: accuracy %v outside (0,1)", c.Accuracy)
 	case c.MaxRequests < c.RoundSize:
 		return fmt.Errorf("core: max requests %d below one round of %d", c.MaxRequests, c.RoundSize)
+	case c.MinRequests > c.MaxRequests:
+		// The MaxRequests cap fires before MinRequests can be reached in
+		// every engine, so this configuration silently makes Converged
+		// unreachable instead of doing what it says.
+		return fmt.Errorf("core: min requests %d exceeds max requests %d; the request cap would always fire before the stopping rule could hold", c.MinRequests, c.MaxRequests)
 	case c.BitErrorRate < 0 || c.BitErrorRate >= 1:
 		return fmt.Errorf("core: bit error rate %v outside [0,1)", c.BitErrorRate)
 	case c.ZipfS != 0 && c.ZipfS <= 1:
@@ -170,7 +190,7 @@ func (c Config) Validate() error {
 	case c.ZipfS > 1 && c.Data.NumRecords < 2:
 		return fmt.Errorf("core: zipf workload (s=%v) needs at least 2 records, have %d: rank generation is undefined for a single record", c.ZipfS, c.Data.NumRecords)
 	case c.Shards < 0:
-		return fmt.Errorf("core: shards %d must be positive (or 0 for the single-shard default)", c.Shards)
+		return fmt.Errorf("core: shards %d must be non-negative (0 and 1 both select the sequential single-stream path)", c.Shards)
 	case c.Shards > c.MaxRequests:
 		return fmt.Errorf("core: shards %d exceeds max requests %d; every shard needs at least one request of budget", c.Shards, c.MaxRequests)
 	case c.DozePowerRatio < 0 || c.DozePowerRatio > 1:
@@ -196,8 +216,33 @@ func (c Config) Validate() error {
 	if c.Multi.Enabled() && c.BitErrorRate > 0 {
 		return fmt.Errorf("core: the legacy BitErrorRate layer predates multichannel and is single-channel only; use Faults with Multi")
 	}
+	switch c.Engine {
+	case "", EngineEvents, EngineCohort:
+	default:
+		return fmt.Errorf("core: unknown engine %q (have %q, %q)", c.Engine, EngineEvents, EngineCohort)
+	}
+	if c.Engine == EngineCohort && c.BitErrorRate > 0 {
+		return fmt.Errorf("core: the cohort engine cannot replay the legacy BitErrorRate layer (it draws from the arrival RNG mid-walk); use Faults instead")
+	}
 	return nil
 }
+
+// Engine names accepted by Config.Engine.
+const (
+	// EngineEvents is the reference event-driven engine; an empty
+	// Config.Engine means the same thing.
+	EngineEvents = "events"
+	// EngineCohort is the batched columnar cohort engine (cohort.go),
+	// bit-identical to EngineEvents for every configuration it accepts.
+	EngineCohort = "cohort"
+)
+
+// EngineNames lists the accepted Config.Engine values, for CLI help.
+func EngineNames() []string { return []string{EngineEvents, EngineCohort} }
+
+// useCohort reports whether the run should go through the columnar
+// cohort engine.
+func (c Config) useCohort() bool { return c.Engine == EngineCohort }
 
 // faultsCanCorrupt reports whether the fault configuration can actually
 // corrupt a read: an enabled model at rate zero takes the injected code

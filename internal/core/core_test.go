@@ -37,6 +37,9 @@ func TestValidateCatchesBadConfigs(t *testing.T) {
 		func(c *Config) { c.Data.NumRecords = 0 },
 		func(c *Config) { c.Shards = -1 },
 		func(c *Config) { c.Shards = c.MaxRequests + 1 },
+		func(c *Config) { c.MinRequests = c.MaxRequests + 1 },
+		func(c *Config) { c.Engine = "columnar" },
+		func(c *Config) { c.Engine = EngineCohort; c.BitErrorRate = 0.1 },
 		func(c *Config) { c.ZipfS = 1.5; c.Data.NumRecords = 1 },
 	}
 	for i, mutate := range mutations {

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"github.com/airindex/airindex/internal/access"
 	"github.com/airindex/airindex/internal/faults"
 	"github.com/airindex/airindex/internal/sim"
 	"github.com/airindex/airindex/internal/stats"
@@ -29,6 +30,68 @@ import (
 // merge walks shards in index order — so the Result is bit-identical for
 // a given (Seed, Shards) pair regardless of GOMAXPROCS or scheduling.
 
+// shardAccum is one request stream's result accumulator. It is shared
+// by the event-driven shard runner and the cohort engine's per-shard
+// driver: both fold completed requests through addResult in arrival
+// order, so a merged Result depends only on the request streams, never
+// on which engine produced them (the cohort differential tests pin
+// exactly this).
+type shardAccum struct {
+	requests, found, notFound int64
+	restarts                  int64
+	wasted                    int64
+	unrecovered               int64
+	switches                  int64
+	switchWait                int64
+	rounds                    int
+	inRound                   int
+	events                    int64 // engine events attributed to this stream
+
+	access, tuning, energy, probes stats.Sample
+	accessP95, accessP99           *stats.Quantile
+	tuningP95, tuningP99           *stats.Quantile
+}
+
+// newShardAccum returns an accumulator with live tail estimators.
+func newShardAccum() shardAccum {
+	return shardAccum{
+		accessP95: stats.MustQuantile(0.95),
+		accessP99: stats.MustQuantile(0.99),
+		tuningP95: stats.MustQuantile(0.95),
+		tuningP99: stats.MustQuantile(0.99),
+	}
+}
+
+// addResult folds one completed request into the accumulator, in the
+// exact field order the sequential result handler uses — Welford and P²
+// updates are order-sensitive, so this ordering is part of the
+// determinism contract.
+//
+//airlint:hotpath
+func (a *shardAccum) addResult(r *access.MultiResult, dozeRatio float64) {
+	a.requests++
+	if r.Found {
+		a.found++
+	} else {
+		a.notFound++
+	}
+	a.access.Add(float64(r.Access))
+	a.tuning.Add(float64(r.Tuning))
+	a.energy.Add(float64(r.Tuning) + dozeRatio*float64(r.Access-r.Tuning))
+	a.probes.Add(float64(r.Probes))
+	a.restarts += int64(r.Restarts)
+	a.wasted += int64(r.Wasted)
+	if r.Unrecovered {
+		a.unrecovered++
+	}
+	a.switches += int64(r.Switches)
+	a.switchWait += int64(r.SwitchWait)
+	a.accessP95.Add(float64(r.Access))
+	a.accessP99.Add(float64(r.Access))
+	a.tuningP95.Add(float64(r.Tuning))
+	a.tuningP99.Add(float64(r.Tuning))
+}
+
 // shardRunner is one shard's private slice of a run: its own event loop,
 // RNG substream, arrival process and accumulators. A wave's goroutine
 // touches exactly one shardRunner; the wave barrier is the only
@@ -41,21 +104,11 @@ type shardRunner struct {
 	eng    *sim.Simulator
 	budget int64 // request cap; shard budgets sum to MaxRequests
 
-	requests, found, notFound int64
-	restarts                  int64
-	wasted                    int64
-	unrecovered               int64
-	switches                  int64
-	switchWait                int64
-	rounds                    int
-	inRound                   int
-	done                      bool  // budget exhausted; queue drained
-	walkErr                   error // request-process failure, first wins by index
-	runErr                    error // event-loop result for the current wave
+	done    bool  // budget exhausted; queue drained
+	walkErr error // request-process failure, first wins by index
+	runErr  error // event-loop result for the current wave
 
-	access, tuning, energy, probes stats.Sample
-	accessP95, accessP99           *stats.Quantile
-	tuningP95, tuningP99           *stats.Quantile
+	shardAccum
 }
 
 // newShardRunner builds shard i of n for the run. A single shard reuses
@@ -68,15 +121,12 @@ func (s *Simulator) newShardRunner(i, n int) *shardRunner {
 		rng = sim.NewShardRNG(s.cfg.Seed, i)
 	}
 	sh := &shardRunner{
-		idx:       i,
-		rng:       rng,
-		inj:       s.newInjector(i),
-		eng:       sim.New(),
-		budget:    int64(s.cfg.MaxRequests / n),
-		accessP95: stats.MustQuantile(0.95),
-		accessP99: stats.MustQuantile(0.99),
-		tuningP95: stats.MustQuantile(0.95),
-		tuningP99: stats.MustQuantile(0.99),
+		idx:        i,
+		rng:        rng,
+		inj:        s.newInjector(i),
+		eng:        sim.New(),
+		budget:     int64(s.cfg.MaxRequests / n),
+		shardAccum: newShardAccum(),
 	}
 	if i < s.cfg.MaxRequests%n {
 		sh.budget++
@@ -108,27 +158,7 @@ func (s *Simulator) shardArrival(sh *shardRunner) func(*sim.Simulator) {
 			eng.Stop()
 			return
 		}
-		sh.requests++
-		if r.Found {
-			sh.found++
-		} else {
-			sh.notFound++
-		}
-		sh.access.Add(float64(r.Access))
-		sh.tuning.Add(float64(r.Tuning))
-		sh.energy.Add(float64(r.Tuning) + s.cfg.DozePowerRatio*float64(r.Access-r.Tuning))
-		sh.probes.Add(float64(r.Probes))
-		sh.restarts += int64(r.Restarts)
-		sh.wasted += int64(r.Wasted)
-		if r.Unrecovered {
-			sh.unrecovered++
-		}
-		sh.switches += int64(r.Switches)
-		sh.switchWait += int64(r.SwitchWait)
-		sh.accessP95.Add(float64(r.Access))
-		sh.accessP99.Add(float64(r.Access))
-		sh.tuningP95.Add(float64(r.Tuning))
-		sh.tuningP99.Add(float64(r.Tuning))
+		sh.addResult(&r, s.cfg.DozePowerRatio)
 
 		boundary := false
 		sh.inRound++
@@ -196,7 +226,7 @@ func (s *Simulator) runSharded() (*Result, error) {
 			}
 		}
 
-		merged := s.mergeShards(shards)
+		merged := s.mergeShards(runnerAccums(shards))
 		// The stopping rule only fires on a complete wave: every shard
 		// that started the wave finished a full round, so the merged
 		// sample is a whole number of rounds per shard — the sharded
@@ -212,16 +242,39 @@ func (s *Simulator) runSharded() (*Result, error) {
 			return merged, nil
 		}
 		if merged.Requests >= int64(s.cfg.MaxRequests) {
+			// Bugfix: the stopping rule also applies on the
+			// budget-exhaustion exit. A final wave cut short mid-round
+			// (some shard's budget is not a whole number of rounds)
+			// never sets waveComplete, but a merged sample that meets
+			// the accuracy rule at the cap has converged all the same.
+			// The samples are untouched — only the verdict changes —
+			// and the sequential path applies the identical rule on its
+			// own cap exit, keeping the one-shard identity exact.
+			merged.Converged = s.accuracyMet(merged) && merged.Requests >= int64(s.cfg.MinRequests)
 			return merged, nil
 		}
 	}
-	return s.mergeShards(shards), nil
+	final := s.mergeShards(runnerAccums(shards))
+	final.Converged = s.accuracyMet(final) && final.Requests >= int64(s.cfg.MinRequests)
+	return final, nil
 }
 
-// mergeShards folds every shard's accumulators, in index order, into a
+// runnerAccums snapshots each runner's accumulator, in shard-index
+// order, attributing the shard's processed event count to its stream.
+func runnerAccums(shards []*shardRunner) []*shardAccum {
+	accs := make([]*shardAccum, len(shards))
+	for i, sh := range shards {
+		sh.events = sh.eng.Processed
+		accs[i] = &sh.shardAccum
+	}
+	return accs
+}
+
+// mergeShards folds every stream's accumulators, in index order, into a
 // fresh Result. Rebuilding from scratch at each wave barrier keeps the
-// merged state a pure function of the per-shard states.
-func (s *Simulator) mergeShards(shards []*shardRunner) *Result {
+// merged state a pure function of the per-stream states; the cohort
+// engine reuses exactly this merge so the two engines cannot drift.
+func (s *Simulator) mergeShards(accs []*shardAccum) *Result {
 	res := &Result{
 		Scheme:     s.cfg.Scheme,
 		CycleBytes: s.bc.Channel().CycleLen(),
@@ -231,7 +284,7 @@ func (s *Simulator) mergeShards(shards []*shardRunner) *Result {
 	a99 := stats.MustQuantile(0.99)
 	t95 := stats.MustQuantile(0.95)
 	t99 := stats.MustQuantile(0.99)
-	for _, sh := range shards {
+	for _, sh := range accs {
 		res.Requests += sh.requests
 		res.Found += sh.found
 		res.NotFound += sh.notFound
@@ -241,7 +294,7 @@ func (s *Simulator) mergeShards(shards []*shardRunner) *Result {
 		res.Switches += sh.switches
 		res.SwitchWaitBytes += sh.switchWait
 		res.Rounds += sh.rounds
-		res.Events += sh.eng.Processed
+		res.Events += sh.events
 		res.Access.Merge(&sh.access)
 		res.Tuning.Merge(&sh.tuning)
 		res.Energy.Merge(&sh.energy)

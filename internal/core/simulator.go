@@ -158,7 +158,12 @@ func (s *Simulator) pickKey(rng *sim.RNG, zipf func() int) uint64 {
 //
 // With Config.Shards > 1 the run is delegated to the round-sharded engine
 // (engine.go), which exploits exactly this independence across shards.
+// Config.Engine == EngineCohort selects the batched columnar engine
+// (cohort.go) instead; it reproduces the same Result bit for bit.
 func (s *Simulator) Run() (*Result, error) {
+	if s.cfg.useCohort() {
+		return s.runCohort()
+	}
 	if s.cfg.Shards > 1 {
 		return s.runSharded()
 	}
@@ -246,6 +251,11 @@ func (s *Simulator) runSequential() (*Result, error) {
 			}
 		}
 		if res.Requests >= int64(s.cfg.MaxRequests) {
+			// Bugfix: the stopping rule also applies when the cap lands
+			// mid-round — the sample is complete either way, so a run
+			// that meets the accuracy rule at the cap has converged.
+			// Mirrors the sharded engine's budget-exhaustion exit.
+			res.Converged = s.accuracyMet(res) && res.Requests >= int64(s.cfg.MinRequests)
 			return
 		}
 		eng.After(s.rng.Exponential(s.cfg.RequestMean), arrive)

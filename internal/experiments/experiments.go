@@ -29,6 +29,12 @@ type Options struct {
 	// substreams (0 keeps the single-shard default). Results depend on
 	// (Seed, Shards) but not on scheduling; see DESIGN.md §7.
 	Shards int
+	// Engine forwards core.Config.Engine to every point: "" or "events"
+	// keeps the reference event-driven engine, "cohort" batches each
+	// point's requests through the columnar engine. The tables are
+	// bit-identical either way (the cohort engine's differential
+	// guarantee); only the wall-clock changes.
+	Engine string
 	// Faults applies the deterministic unreliable-channel layer
 	// (internal/faults) to every point. The zero value keeps the perfect
 	// channel; a zero-rate model reproduces the perfect channel's tables
@@ -71,6 +77,7 @@ func (o Options) baseConfig(scheme string, records int) core.Config {
 	if o.Shards > 0 {
 		cfg.Shards = o.Shards
 	}
+	cfg.Engine = o.Engine
 	cfg.Faults = o.Faults
 	cfg.Multi = o.Multi
 	return cfg

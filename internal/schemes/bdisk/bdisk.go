@@ -99,6 +99,10 @@ type Broadcast struct {
 	// diskOf maps record index -> disk, for tests and Params.
 	diskOf []int
 	minors int
+	// occ inverts recOf: record -> its bucket slots within the major
+	// cycle, ascending. Resolve binary-searches it for the first
+	// occurrence at or after a tune-in slot.
+	occ [][]int32
 }
 
 func gcd(a, b int) int {
@@ -168,6 +172,10 @@ func Build(ds *datagen.Dataset, opts Options) (*Broadcast, error) {
 		return nil, fmt.Errorf("bdisk: %w", err)
 	}
 	b.ch = ch
+	b.occ = make([][]int32, ds.Len())
+	for slot, rec := range b.recOf {
+		b.occ[rec] = append(b.occ[rec], int32(slot))
+	}
 	return b, nil
 }
 
@@ -208,6 +216,62 @@ type client struct {
 	b    *Broadcast
 	key  uint64
 	read int
+}
+
+// Resolve implements access.Resolver: the serial scan over the
+// disk-frequency layout in closed form, bit-identical to stepping the
+// client. Buckets are uniform, so the geometry matches flat broadcast;
+// the difference is that a record occurs once per minor cycle of its
+// disk, so the scan length to a present key is the distance from the
+// first complete bucket to the key's next occurrence slot (binary
+// search over the record's ascending slot list), and a missing key
+// needs the full major cycle.
+//
+//airlint:hotpath
+func (b *Broadcast) Resolve(key uint64, arrival sim.Time) (access.Result, bool) {
+	n := int(b.ch.NumBuckets())
+	size := b.ch.SizeOf(0) // uniform: header + record
+	cyc := b.ch.CycleLen()
+	base := units.CycleBase(arrival, cyc)
+	off := units.CycleOffset(arrival, cyc).Extent()
+	slot := (off + size - 1).Div(size) // first complete bucket, in [0, n]
+	start := base + size.Times(slot).Span()
+	first := slot % n
+
+	var res access.Result
+	rec, ok := b.ds.Find(key)
+	if ok {
+		occ := b.occ[rec]
+		// First occurrence slot at or after first, wrapping to the next
+		// major cycle when the record only occurs earlier.
+		lo, hi := 0, len(occ)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if int(occ[mid]) >= first {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		if lo < len(occ) {
+			res.Probes = int(occ[lo]) - first + 1
+		} else {
+			res.Probes = int(occ[0]) + n - first + 1
+		}
+	} else {
+		res.Probes = n
+	}
+	res.Tuning = size.Times(res.Probes)
+	res.Access = units.Elapsed(arrival, start+res.Tuning.Span())
+	res.Found = ok
+	return res, true
+}
+
+// Rewind implements access.Rewinder: after Rewind(k) the client is
+// indistinguishable from NewClient(k).
+func (c *client) Rewind(key uint64) {
+	c.key = key
+	c.read = 0
 }
 
 func (c *client) OnBucket(i units.BucketIndex, _ sim.Time) access.Step {

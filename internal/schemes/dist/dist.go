@@ -297,6 +297,14 @@ type client struct {
 	descended bool
 }
 
+// Rewind implements access.Rewinder: after Rewind(k) the client is
+// indistinguishable from NewClient(k).
+func (c *client) Rewind(key uint64) {
+	c.key = key
+	c.phase = phaseFirstProbe
+	c.descended = false
+}
+
 func (c *client) OnBucket(i units.BucketIndex, end sim.Time) access.Step {
 	b := c.b
 	switch c.phase {

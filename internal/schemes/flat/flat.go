@@ -91,10 +91,53 @@ func (b *Broadcast) NewClient(key uint64) access.Client {
 	return &client{b: b, key: key}
 }
 
+// Resolve implements access.Resolver: the serial scan over uniform
+// buckets in closed form, bit-identical to stepping the client. From
+// the first complete bucket at or after the arrival (index f), the
+// client reads consecutive buckets; bucket i carries record i in key
+// order, so a present key at record r is found on read ((r-f) mod N)+1
+// and a missing key is proven absent after exactly N reads. Buckets are
+// contiguous and uniform, so the final read ends probes·size bytes
+// after the first bucket's start.
+//
+//airlint:hotpath
+func (b *Broadcast) Resolve(key uint64, arrival sim.Time) (access.Result, bool) {
+	n := b.ds.Len()
+	size := b.ch.SizeOf(0) // uniform: header + record
+	cyc := b.ch.CycleLen()
+	base := units.CycleBase(arrival, cyc)
+	off := units.CycleOffset(arrival, cyc).Extent()
+	// First complete bucket at or after the arrival, as a cycle slot in
+	// [0, n]; slot n is the next cycle's bucket 0 and needs no wrapping
+	// because n·size is exactly the cycle length.
+	slot := (off + size - 1).Div(size)
+	start := base + size.Times(slot).Span()
+	first := slot % n
+
+	var res access.Result
+	rec, ok := b.ds.Find(key)
+	if ok {
+		res.Probes = (rec-first+n)%n + 1
+	} else {
+		res.Probes = n
+	}
+	res.Tuning = size.Times(res.Probes)
+	res.Access = units.Elapsed(arrival, start+res.Tuning.Span())
+	res.Found = ok
+	return res, true
+}
+
 type client struct {
 	b    *Broadcast
 	key  uint64
 	read int
+}
+
+// Rewind implements access.Rewinder: after Rewind(k) the client is
+// indistinguishable from NewClient(k).
+func (c *client) Rewind(key uint64) {
+	c.key = key
+	c.read = 0
 }
 
 func (c *client) OnBucket(i units.BucketIndex, _ sim.Time) access.Step {

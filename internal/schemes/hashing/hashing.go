@@ -245,6 +245,15 @@ type client struct {
 	chainRead int // buckets examined in the chain phase
 }
 
+// Rewind implements access.Rewinder: after Rewind(k) the client is
+// indistinguishable from NewClient(k).
+func (c *client) Rewind(key uint64) {
+	c.key = key
+	c.target = c.b.hashKey(key)
+	c.phase = phaseSeek
+	c.chainRead = 0
+}
+
 func (c *client) OnBucket(i units.BucketIndex, end sim.Time) access.Step {
 	b := c.b
 	ch := b.ch

@@ -248,6 +248,13 @@ type client struct {
 	phase clientPhase
 }
 
+// Rewind implements access.Rewinder: after Rewind(k) the client is
+// indistinguishable from NewClient(k).
+func (c *client) Rewind(key uint64) {
+	c.key = key
+	c.phase = phaseFirstProbe
+}
+
 func (c *client) OnBucket(i units.BucketIndex, end sim.Time) access.Step {
 	b := c.b
 	switch c.phase {

@@ -70,6 +70,7 @@ func TestAccumulatorsAllocFree(t *testing.T) {
 	}
 	i := 0
 
+	bulk := []float64{3, 1, 4, 1, 5, 9, 2, 6}
 	table := map[string]func(){
 		"Sample.Add": func() {
 			i++
@@ -78,6 +79,16 @@ func TestAccumulatorsAllocFree(t *testing.T) {
 		"Quantile.Add": func() {
 			i++
 			q.Add(float64(i % 11))
+		},
+		"Sample.AddAll": func() {
+			i++
+			bulk[i%len(bulk)] = float64(i % 13)
+			s.AddAll(bulk)
+		},
+		"Quantile.AddAll": func() {
+			i++
+			bulk[i%len(bulk)] = float64(i % 13)
+			q.AddAll(bulk)
 		},
 	}
 

@@ -110,6 +110,18 @@ func (q *Quantile) Add(x float64) {
 	}
 }
 
+// AddAll records a batch of observations in slice order — exactly
+// equivalent to calling Add on each element. P² marker updates are
+// order-sensitive like Welford accumulation, so the cohort engine's
+// column-at-a-time folding stays bit-identical to per-request adds.
+//
+//airlint:hotpath
+func (q *Quantile) AddAll(xs []float64) {
+	for _, x := range xs {
+		q.Add(x)
+	}
+}
+
 // Merge folds another estimator of the same quantile into q, weighting
 // each side by its observation count. The round-sharded engine uses it to
 // combine per-shard tail estimators at every wave barrier: the merge is a

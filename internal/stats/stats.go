@@ -45,6 +45,19 @@ func (s *Sample) Add(x float64) {
 	s.m2 += delta * (x - s.mean)
 }
 
+// AddAll records a batch of observations in slice order. It is exactly
+// equivalent to calling Add on each element — Welford accumulation is
+// order-sensitive, so the columnar cohort engine hands whole result
+// columns here instead of interleaving per-request Add calls, and the
+// bits still match the sequential path.
+//
+//airlint:hotpath
+func (s *Sample) AddAll(xs []float64) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
 // Merge folds another sample into s (parallel Welford combination).
 func (s *Sample) Merge(o *Sample) {
 	if o.n == 0 {

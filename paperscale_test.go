@@ -89,3 +89,31 @@ func TestPaperScaleTreeGeometry(t *testing.T) {
 		t.Errorf("bucket size %v, want 513", p["bucket_size"])
 	}
 }
+
+// TestPaperScaleCohortMillionClients is the cohort engine's acceptance
+// point: one million requests at the Figure-4 midpoint geometry run to
+// completion through the columnar kernels in a couple of seconds, with
+// the exact request count the cap forces and the flat half-cycle means.
+// The bit-identity with the event engine at this scale is checked
+// offline (BENCH.md); in-tree the differential suite pins it at small N
+// where the reference engine is affordable.
+func TestPaperScaleCohortMillionClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 1,000,000 requests")
+	}
+	cfg := core.DefaultConfig("flat", 17500)
+	cfg.Engine = core.EngineCohort
+	cfg.MinRequests = 1_000_000
+	cfg.MaxRequests = 1_000_000
+	res, err := core.RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 1_000_000 || res.Found != res.Requests {
+		t.Fatalf("ran %d requests, found %d; want exactly 1,000,000 found", res.Requests, res.Found)
+	}
+	half := float64(res.CycleBytes) / 2
+	if got := res.Access.Mean(); got < 0.99*half || got > 1.01*half {
+		t.Fatalf("flat mean access %v at 10^6 requests, want within 1%% of half cycle %v", got, half)
+	}
+}
