@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-only lint-flow lint-escape test test-race cover bench bench-gate bench-baseline experiments experiments-fast faults-sweep multich-sweep examples clean
+.PHONY: all build vet lint lint-only lint-flow lint-escape test test-race cover bench bench-gate bench-baseline experiments experiments-fast faults-sweep multich-sweep examples aircast-demo aircast-e2e clean
 
 all: build vet lint test
 
@@ -76,6 +76,18 @@ faults-sweep:
 # multich-tt.csv). The K=1 rows match fig4a/fig5a exactly (CI gate).
 multich-sweep:
 	$(GO) run ./cmd/airbench -csv results multich
+
+# Live broadcast daemon demo: serve one reconfiguration cycle
+# in-process (epoch 1 -> 2 at a cycle boundary), resolve keys on both
+# epochs, and scrape the daemon's own /metrics (see DESIGN.md §10).
+aircast-demo:
+	$(GO) run ./cmd/aircast -demo
+
+# The daemon's end-to-end suite under the race detector: in-process,
+# TCP and chaos-injected UDP transports against the simulator's
+# byte-clock accounting.
+aircast-e2e:
+	$(GO) test -race -count=2 ./internal/aircast/ ./cmd/aircast/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -43,6 +43,21 @@ type Contract struct {
 	SigBytes, BitsPerField int
 }
 
+// Source provides the encoded form of broadcast buckets to the
+// byte-driven clients. Of returns the bytes of the bucket the walker
+// just read and charged — implementations must only ever be asked for
+// that bucket (the byteclock analyzer enforces the call discipline).
+// Bytes is the simulator-side implementation, decoding from the local
+// channel image; internal/aircast supplies a live implementation whose
+// bytes come off the wire, so the same client state machines ride both
+// the byte-clock simulator and a real transport unchanged.
+type Source interface {
+	// Of returns bucket i's encoded bytes.
+	Of(i units.BucketIndex) []byte
+	// NumBuckets returns the cycle's bucket count.
+	NumBuckets() units.BucketCount
+}
+
 // Bytes provides the encoded form of broadcast buckets, memoized so
 // differential sweeps do not re-encode per probe.
 type Bytes struct {
@@ -68,7 +83,7 @@ func (e *Bytes) NumBuckets() units.BucketCount { return e.ch.NumBuckets() }
 
 // NewClient returns a byte-driven client for the named paper scheme. The
 // supported names are flat, (1,m), distributed, hashing and signature.
-func NewClient(scheme string, bytes *Bytes, c Contract, key uint64) (access.Client, error) {
+func NewClient(scheme string, bytes Source, c Contract, key uint64) (access.Client, error) {
 	switch scheme {
 	case "flat":
 		return newFlatClient(bytes, c, key), nil

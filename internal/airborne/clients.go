@@ -15,13 +15,13 @@ import (
 // --- flat broadcast -------------------------------------------------------
 
 type flatClient struct {
-	b        *Bytes
+	b        Source
 	c        Contract
 	queryKey []byte
 	read     int
 }
 
-func newFlatClient(b *Bytes, c Contract, key uint64) *flatClient {
+func newFlatClient(b Source, c Contract, key uint64) *flatClient {
 	return &flatClient{b: b, c: c, queryKey: datagen.EncodeKeyWidth(key, c.KeySize)}
 }
 
@@ -42,7 +42,7 @@ func (cl *flatClient) OnBucket(i units.BucketIndex, _ sim.Time) access.Step {
 // --- simple signature -----------------------------------------------------
 
 type sigClient struct {
-	b        *Bytes
+	b        Source
 	c        Contract
 	query    signature.Sig
 	queryKey []byte
@@ -50,7 +50,7 @@ type sigClient struct {
 	dataSize units.ByteCount
 }
 
-func newSigClient(b *Bytes, c Contract, key uint64) *sigClient {
+func newSigClient(b Source, c Contract, key uint64) *sigClient {
 	keyEnc := datagen.EncodeKeyWidth(key, c.KeySize)
 	return &sigClient{
 		b:        b,
@@ -97,7 +97,7 @@ const (
 )
 
 type hashClient struct {
-	b        *Bytes
+	b        Source
 	c        Contract
 	queryKey []byte
 	target   int // H(K)
@@ -105,7 +105,7 @@ type hashClient struct {
 	read     int
 }
 
-func newHashClient(b *Bytes, c Contract, key uint64) *hashClient {
+func newHashClient(b Source, c Contract, key uint64) *hashClient {
 	keyEnc := datagen.EncodeKeyWidth(key, c.KeySize)
 	return &hashClient{
 		b:        b,
@@ -199,14 +199,14 @@ const (
 )
 
 type treeClient struct {
-	b        *Bytes
+	b        Source
 	c        Contract
 	key      uint64
 	queryKey []byte
 	phase    treePhase
 }
 
-func newTreeClient(b *Bytes, c Contract, key uint64) *treeClient {
+func newTreeClient(b Source, c Contract, key uint64) *treeClient {
 	return &treeClient{
 		b:        b,
 		c:        c,

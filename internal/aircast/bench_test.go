@@ -1,0 +1,76 @@
+package aircast_test
+
+import (
+	"testing"
+
+	"github.com/airindex/airindex/internal/aircast"
+)
+
+// BenchmarkInmemDatagrams measures the transmitter's fan-out ceiling on
+// the lossless in-process transport: one blocking subscriber draining
+// an unpaced broadcast, so every framed datagram is accounted.
+func BenchmarkInmemDatagrams(b *testing.B) {
+	bc, _, prog := buildHarness(b, "flat", 300, 1)
+	img, err := aircast.BuildImage(1, prog, bc.Channel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := aircast.NewServer(aircast.Config{}, img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Stop()
+	rx, err := aircast.Dial(aircast.TransportInmem, srv)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rx.Close()
+	var bytes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw, ok := rx.Recv()
+		if !ok {
+			b.Fatal("stream ended")
+		}
+		bytes += int64(len(raw))
+	}
+	b.SetBytes(bytes / int64(b.N))
+}
+
+// BenchmarkUDPLoopbackDatagrams measures datagrams/sec sustained at a
+// receiver over loopback UDP: the server floods unpaced, the kernel
+// drops what the socket cannot hold, and only datagrams actually
+// received count — the honest "sustained" number from BENCH.md.
+func BenchmarkUDPLoopbackDatagrams(b *testing.B) {
+	bc, _, prog := buildHarness(b, "flat", 300, 1)
+	img, err := aircast.BuildImage(1, prog, bc.Channel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rx, err := aircast.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rx.Close()
+	srv, err := aircast.NewServer(aircast.Config{UDPAddr: rx.Addr()}, img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Stop()
+	var bytes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw, ok := rx.Recv()
+		if !ok {
+			b.Fatal("socket closed")
+		}
+		bytes += int64(len(raw))
+	}
+	b.SetBytes(bytes / int64(b.N))
+}

@@ -1,0 +1,52 @@
+package aircast
+
+import (
+	"github.com/airindex/airindex/internal/faults"
+	"github.com/airindex/airindex/internal/units"
+)
+
+// chaosProxy sits between the broadcast loop and every transport,
+// driving the simulator's deterministic error models at the datagram
+// layer. Decisions come from the same faults.Injector substream the
+// simulated unreliable channel uses — splitmix(seed, shard, "faults"),
+// indexed by a running datagram serial — so a chaos run is replayable
+// from (model, rate, seed) alone.
+//
+// The proxy corrupts at the transmitter, which is what a broadcast
+// medium does: every receiver of a given datagram sees the same fate.
+// ModelDrop discards the datagram (receivers observe a gap in the
+// bucket sequence); the bit-level models (iid, ge) flip one
+// deterministically chosen bit in a copy of the sealed frame, which the
+// CRC32C trailer is guaranteed to catch at every receiver
+// (wire.Verify), triggering the walkers' recovery policies exactly as a
+// Corrupter verdict does in simulation.
+type chaosProxy struct {
+	inj    *faults.Injector
+	drop   bool // ModelDrop discards; other models mangle
+	serial int  // datagram serial within the proxy's single "request"
+}
+
+// newChaosProxy builds the proxy for one deterministic substream. The
+// whole broadcast is one fault "request": the serial counter advances
+// per datagram, mirroring the per-probe coordinate of the simulator.
+func newChaosProxy(cfg faults.Config, seed int64) *chaosProxy {
+	inj := faults.New(cfg, seed, 0)
+	inj.StartRequest()
+	return &chaosProxy{inj: inj, drop: cfg.Model == faults.ModelDrop}
+}
+
+// filter decides one datagram's fate. It returns the frame to transmit
+// (the original, or a mangled copy) and false when the datagram is
+// dropped. payloadBytes is the bucket payload size — the same per-read
+// size coordinate the simulator feeds its Corrupt decisions.
+func (p *chaosProxy) filter(frame []byte, payloadBytes int64) ([]byte, bool) {
+	serial := p.serial
+	p.serial++
+	if !p.inj.Corrupt(serial, units.Bytes64(payloadBytes)) {
+		return frame, true
+	}
+	if p.drop {
+		return nil, false
+	}
+	return p.inj.MangleCopy(serial, frame), true
+}

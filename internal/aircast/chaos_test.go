@@ -1,0 +1,138 @@
+package aircast_test
+
+import (
+	"testing"
+
+	"github.com/airindex/airindex/internal/access"
+	"github.com/airindex/airindex/internal/aircast"
+	"github.com/airindex/airindex/internal/faults"
+)
+
+// TestE2EChaosInmemDropRecovers drives the lossless transport through
+// the chaos proxy's bucket-drop model at a fixed (seed, rate): the
+// proxy deterministically discards datagrams at the transmitter, so
+// receivers see gaps exactly where the simulator's ModelDrop would
+// corrupt reads. Clients must detect the losses (missing doze targets,
+// broken bucket contiguity) and recover through the WalkRecover restart
+// policy within the retry bound.
+func TestE2EChaosInmemDropRecovers(t *testing.T) {
+	bc, ds, prog := buildHarness(t, "(1,m)", 300, 1)
+	img, err := aircast.BuildImage(1, prog, bc.Channel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := aircast.Config{
+		Chaos:       aircast.ChaosOn,
+		ChaosFaults: faults.FromRate(faults.ModelDrop, 0.08),
+		ChaosSeed:   42,
+	}
+	srv, err := aircast.NewServer(cfg, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	prog = srv.Program()
+
+	rx, err := aircast.Dial(aircast.TransportInmem, srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := aircast.NewSession(rx, prog)
+	sess.Policy = access.RecoverPolicy{MaxRetries: 200}
+	defer sess.Close()
+
+	totalRestarts := 0
+	for q := 0; q < 16; q++ {
+		key := ds.KeyAt((q * 29) % ds.Len())
+		res, err := sess.ResolveKey(key)
+		if err != nil {
+			t.Fatalf("key %d: %v", key, err)
+		}
+		if res.Unrecovered {
+			t.Fatalf("key %d abandoned inside a 200-retry budget at 8%% drop: %+v", key, res)
+		}
+		if !res.Found {
+			t.Fatalf("key %d present but not found under drops: %+v", key, res)
+		}
+		if res.Restarts > sess.Policy.MaxRetries {
+			t.Fatalf("key %d exceeded the retry bound: %+v", key, res)
+		}
+		totalRestarts += res.Restarts
+	}
+	if totalRestarts == 0 {
+		t.Fatal("an 8% drop rate produced no restarts across 16 requests")
+	}
+	if got := srv.Metrics().ChaosDropped.Load(); got == 0 {
+		t.Fatal("chaos proxy reported no drops")
+	}
+}
+
+// TestE2EChaosUDPRecovers runs the real UDP datagram path through the
+// bit-flip (IID BER) chaos model: mangled frames fail wire.Verify at
+// the receiver and charge tuning as wasted reads, exactly like a
+// Corrupter verdict in WalkRecover. The stream is paced so the loopback
+// socket keeps up.
+func TestE2EChaosUDPRecovers(t *testing.T) {
+	bc, ds, prog := buildHarness(t, "flat", 150, 1)
+	img, err := aircast.BuildImage(1, prog, bc.Channel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := aircast.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := aircast.Config{
+		UDPAddr:     rx.Addr(),
+		BytesPerSec: 4 << 20,
+		Chaos:       aircast.ChaosOn,
+		ChaosFaults: faults.FromRate(faults.ModelIID, 5e-5),
+		ChaosSeed:   7,
+	}
+	srv, err := aircast.NewServer(cfg, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	prog = srv.Program()
+
+	sess := aircast.NewSession(rx, prog)
+	sess.Policy = access.RecoverPolicy{MaxRetries: 500}
+	defer sess.Close()
+
+	totalRestarts, found := 0, 0
+	const requests = 6
+	for q := 0; q < requests; q++ {
+		key := ds.KeyAt((q * 23) % ds.Len())
+		res, err := sess.ResolveKey(key)
+		if err != nil {
+			t.Fatalf("key %d: %v", key, err)
+		}
+		if res.Restarts > sess.Policy.MaxRetries {
+			t.Fatalf("key %d exceeded the retry bound: %+v", key, res)
+		}
+		if res.Found {
+			found++
+		}
+		totalRestarts += res.Restarts
+	}
+	// UDP adds its own (timing-dependent) losses on top of the
+	// deterministic chaos stream, so the assertions are behavioral:
+	// recovery happened, and it worked for the bulk of the requests.
+	if found < requests-1 {
+		t.Fatalf("only %d/%d present keys found under chaos", found, requests)
+	}
+	if totalRestarts == 0 {
+		t.Fatal("a ~5% per-bucket corruption rate produced no restarts")
+	}
+	m := srv.Metrics()
+	if m.ChaosCorrupted.Load() == 0 {
+		t.Fatal("chaos proxy reported no corruptions")
+	}
+}

@@ -1,0 +1,75 @@
+package aircast
+
+import (
+	"fmt"
+
+	"github.com/airindex/airindex/internal/channel"
+	"github.com/airindex/airindex/internal/units"
+	"github.com/airindex/airindex/internal/wire"
+)
+
+// Image is one immutable broadcast image: every bucket of a constructed
+// cycle pre-framed into sealed datagrams under a single epoch. Building
+// the image is a pure function of (epoch, program, channel) — the
+// daemon's deterministic core. Once built an Image is never mutated, so
+// the broadcast loop, every subscriber queue and every TCP writer may
+// share its frames without copying or locking.
+type Image struct {
+	epoch  uint32
+	prog   Program
+	frames [][]byte          // sealed datagram per bucket, in cycle order
+	sizes  []units.ByteCount // payload size per bucket (the byte-clock cost)
+}
+
+// BuildImage frames a constructed channel into the broadcast image for
+// the given epoch. The program's cycle geometry is filled in from the
+// channel, so callers supply only the scheme name and contract.
+func BuildImage(epoch uint32, prog Program, ch *channel.Channel) (*Image, error) {
+	n := int(ch.NumBuckets())
+	if n <= 0 {
+		return nil, fmt.Errorf("aircast: cannot frame an empty cycle")
+	}
+	prog.CycleLen = ch.CycleLen()
+	prog.NumBuckets = ch.NumBuckets()
+	im := &Image{
+		epoch:  epoch,
+		prog:   prog,
+		frames: make([][]byte, n),
+		sizes:  make([]units.ByteCount, n),
+	}
+	for i := 0; i < n; i++ {
+		idx := units.Index(i)
+		payload := ch.Bucket(idx).Encode()
+		im.frames[i] = wire.EncodeDatagram(wire.Datagram{
+			Epoch:   epoch,
+			Offset:  ch.StartInCycle(idx),
+			Bucket:  idx,
+			Payload: payload,
+		})
+		im.sizes[i] = units.Bytes(len(payload))
+	}
+	return im, nil
+}
+
+// Epoch returns the image's broadcast epoch.
+func (im *Image) Epoch() uint32 { return im.epoch }
+
+// Program returns the image's published service contract, with the cycle
+// geometry filled in.
+func (im *Image) Program() Program { return im.prog }
+
+// NumFrames returns the number of datagrams per cycle.
+func (im *Image) NumFrames() int { return len(im.frames) }
+
+// CycleLen returns the cycle length in payload (byte-clock) bytes.
+func (im *Image) CycleLen() units.ByteCount { return im.prog.CycleLen }
+
+// FrameBytes returns the total sealed frame bytes per cycle — the wire
+// footprint including the per-datagram transport overhead.
+func (im *Image) FrameBytes() int64 {
+	var total int64
+	for _, f := range im.frames {
+		total += int64(len(f))
+	}
+	return total
+}

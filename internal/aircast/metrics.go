@@ -1,0 +1,78 @@
+package aircast
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+)
+
+// Metrics is the daemon's operational counter set, exposed in Prometheus
+// text format at /metrics. Counters are plain atomics: the broadcast
+// loop bumps them on its hot path and the HTTP handler reads them
+// without coordination.
+type Metrics struct {
+	// Epoch is the epoch of the image currently on the air.
+	Epoch atomic.Int64
+	// Cycles counts complete broadcast cycles served.
+	Cycles atomic.Int64
+	// Datagrams counts datagrams actually transmitted (chaos drops are
+	// not transmitted and count in ChaosDropped instead).
+	Datagrams atomic.Int64
+	// BytesSent counts sealed frame bytes transmitted, overhead included.
+	BytesSent atomic.Int64
+	// ActiveReaders gauges currently connected TCP catch-up readers.
+	ActiveReaders atomic.Int64
+	// InmemSubscribers gauges currently attached in-process receivers.
+	InmemSubscribers atomic.Int64
+	// SlowReaderDrops counts datagrams dropped because a TCP reader's
+	// bounded queue was full — the backpressure policy: the cycle never
+	// stalls for a slow reader.
+	SlowReaderDrops atomic.Int64
+	// Reconfigs counts graceful image swaps taken at cycle boundaries.
+	Reconfigs atomic.Int64
+	// ChaosDropped counts datagrams the chaos proxy discarded.
+	ChaosDropped atomic.Int64
+	// ChaosCorrupted counts datagrams the chaos proxy bit-mangled.
+	ChaosCorrupted atomic.Int64
+}
+
+// Render writes the counters in Prometheus text exposition format.
+func (m *Metrics) Render(w io.Writer) {
+	for _, c := range []struct {
+		name, kind, help string
+		v                int64
+	}{
+		{"aircast_epoch", "gauge", "Epoch of the broadcast image on the air.", m.Epoch.Load()},
+		{"aircast_cycles_total", "counter", "Complete broadcast cycles served.", m.Cycles.Load()},
+		{"aircast_datagrams_sent_total", "counter", "Datagrams transmitted.", m.Datagrams.Load()},
+		{"aircast_bytes_sent_total", "counter", "Sealed frame bytes transmitted.", m.BytesSent.Load()},
+		{"aircast_active_readers", "gauge", "Connected TCP catch-up readers.", m.ActiveReaders.Load()},
+		{"aircast_inmem_subscribers", "gauge", "Attached in-process receivers.", m.InmemSubscribers.Load()},
+		{"aircast_slow_reader_drops_total", "counter", "Datagrams dropped on full reader queues.", m.SlowReaderDrops.Load()},
+		{"aircast_reconfigs_total", "counter", "Graceful image swaps at cycle boundaries.", m.Reconfigs.Load()},
+		{"aircast_chaos_dropped_total", "counter", "Datagrams discarded by the chaos proxy.", m.ChaosDropped.Load()},
+		{"aircast_chaos_corrupted_total", "counter", "Datagrams bit-mangled by the chaos proxy.", m.ChaosCorrupted.Load()},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", c.name, c.help, c.name, c.kind, c.name, c.v)
+	}
+}
+
+// handler returns the daemon's HTTP mux: /metrics in Prometheus text
+// format and /healthz reporting liveness.
+func (s *Server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.metrics.Render(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		select {
+		case <-s.stop:
+			http.Error(w, "stopping", http.StatusServiceUnavailable)
+		default:
+			fmt.Fprintln(w, "ok")
+		}
+	})
+	return mux
+}

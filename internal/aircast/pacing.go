@@ -1,0 +1,39 @@
+package aircast
+
+import "time"
+
+// pacer maps the byte-clock onto the wall clock: after accounting n
+// payload bytes it sleeps until the wall time at which a channel of the
+// configured bandwidth would have finished broadcasting them. Pacing is
+// absolute, not incremental — each sleep targets start + sent/rate — so
+// scheduling jitter never accumulates into drift: over any window the
+// served byte-clock tracks rate * elapsed wall time.
+//
+// This file is the reason internal/aircast is the one sanctioned
+// wall-clock package (DESIGN.md §10): the daemon's whole purpose is to
+// put the byte-clock on the air in real time. Nothing measured — access
+// time, tuning time, chaos decisions — ever reads the wall clock.
+type pacer struct {
+	rate  int64 // bytes per second; 0 disables pacing
+	start time.Time
+	sent  int64 // payload bytes accounted so far
+}
+
+// newPacer starts a pacer at the current wall time. rate 0 returns a
+// pacer whose pace is a no-op.
+func newPacer(rate int64) *pacer {
+	return &pacer{rate: rate, start: time.Now()}
+}
+
+// pace accounts n payload bytes and blocks until the wall clock catches
+// up with the byte-clock.
+func (p *pacer) pace(n int64) {
+	p.sent += n
+	if p.rate <= 0 {
+		return
+	}
+	target := p.start.Add(time.Duration(p.sent * int64(time.Second) / p.rate))
+	if d := time.Until(target); d > 0 {
+		time.Sleep(d)
+	}
+}

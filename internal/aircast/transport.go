@@ -1,0 +1,127 @@
+package aircast
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Receiver is a client's view of the datagram stream, whatever the
+// transport: Recv blocks for the next raw sealed frame and returns
+// false when the stream has ended. Frames may arrive corrupted (chaos,
+// link noise) or not at all (UDP loss); interpreting them is the
+// Session's job.
+type Receiver interface {
+	Recv() ([]byte, bool)
+	Close() error
+}
+
+// maxFrame bounds a received frame: comfortably above any bucket
+// encoding the testbed produces, small enough to reject garbage length
+// prefixes before allocating.
+const maxFrame = 1 << 22
+
+// UDPReceiver listens for datagrams on a unicast or multicast address.
+type UDPReceiver struct {
+	conn *net.UDPConn
+	buf  []byte
+}
+
+// ListenUDP binds a datagram receiver. A multicast group address joins
+// the group; a unicast address (":0" for ephemeral) binds directly —
+// the server's Config.UDPAddr must then target the bound address
+// (Addr).
+func ListenUDP(addr string) (*UDPReceiver, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("aircast: udp listen: %w", err)
+	}
+	var conn *net.UDPConn
+	if ua.IP != nil && ua.IP.IsMulticast() {
+		conn, err = net.ListenMulticastUDP("udp", nil, ua)
+	} else {
+		conn, err = net.ListenUDP("udp", ua)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("aircast: udp listen: %w", err)
+	}
+	return &UDPReceiver{conn: conn, buf: make([]byte, maxFrame)}, nil
+}
+
+// Addr returns the bound address, for pointing a server's UDPAddr at an
+// ephemeral listener.
+func (r *UDPReceiver) Addr() string { return r.conn.LocalAddr().String() }
+
+// Recv returns the next datagram, copied out of the socket buffer.
+func (r *UDPReceiver) Recv() ([]byte, bool) {
+	n, _, err := r.conn.ReadFromUDP(r.buf)
+	if err != nil {
+		return nil, false
+	}
+	frame := make([]byte, n)
+	copy(frame, r.buf[:n])
+	return frame, true
+}
+
+// Close shuts the socket; a blocked Recv returns false.
+func (r *UDPReceiver) Close() error { return r.conn.Close() }
+
+// TCPReceiver reads the catch-up stream: length-prefixed sealed frames
+// over one connection.
+type TCPReceiver struct {
+	conn net.Conn
+}
+
+// DialTCP connects a catch-up reader to a server's TCP listener.
+func DialTCP(addr string) (*TCPReceiver, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("aircast: tcp dial: %w", err)
+	}
+	return &TCPReceiver{conn: conn}, nil
+}
+
+// Recv returns the next frame off the stream.
+func (r *TCPReceiver) Recv() ([]byte, bool) {
+	var lenbuf [4]byte
+	if _, err := io.ReadFull(r.conn, lenbuf[:]); err != nil {
+		return nil, false
+	}
+	n := binary.BigEndian.Uint32(lenbuf[:])
+	if n == 0 || n > maxFrame {
+		return nil, false
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r.conn, frame); err != nil {
+		return nil, false
+	}
+	return frame, true
+}
+
+// Close hangs up; a blocked Recv returns false.
+func (r *TCPReceiver) Close() error { return r.conn.Close() }
+
+// Dial attaches a receiver to a running server over the chosen
+// transport. TransportInmem subscribes in-process (srv must be local);
+// TransportUDP listens on the server's configured datagram target;
+// TransportTCP connects to the server's catch-up listener.
+func Dial(kind TransportKind, srv *Server) (Receiver, error) {
+	switch kind {
+	case TransportInmem:
+		return srv.Subscribe(), nil
+	case TransportUDP:
+		if srv.cfg.UDPAddr == "" {
+			return nil, fmt.Errorf("aircast: server has no UDP target")
+		}
+		return ListenUDP(srv.cfg.UDPAddr)
+	case TransportTCP:
+		addr := srv.TCPAddr()
+		if addr == "" {
+			return nil, fmt.Errorf("aircast: server has no TCP listener")
+		}
+		return DialTCP(addr)
+	default:
+		return nil, fmt.Errorf("aircast: unknown transport %d", kind)
+	}
+}

@@ -22,7 +22,20 @@ import (
 //   - calling Bytes.Of with anything but the enclosing function's own
 //     bucket-index parameter — the index handed to OnBucket names the
 //     bucket that was just read and charged; decoding any other bucket
-//     reads bytes off the air for free.
+//     reads bytes off the air for free. The same rule covers calls
+//     dispatched through the airborne.Source interface (any named
+//     interface called Source that declares Of), so clients stay
+//     disciplined whether they read the simulator's memoized cache or
+//     aircast's live stream.
+//
+// internal/aircast itself is deliberately outside the scope: its server
+// side legitimately calls Encode() while framing buckets into datagrams
+// (BuildImage charges nothing because nothing is on the air yet), and
+// its Session charges every received payload to tuning before the
+// client sees it. The client-facing surface is still covered — the
+// walkers aircast drives live in internal/airborne, and the live
+// Source enforces the on-air discipline at runtime by panicking on any
+// index but the bucket just fed.
 var ByteClockAnalyzer = &Analyzer{
 	Name: "byteclock",
 	Doc:  "broadcast-image bytes may only be consumed through the clock-charging channel APIs",
@@ -91,6 +104,27 @@ func isBytesType(t types.Type) bool {
 	return false
 }
 
+// isSourceInterface matches the bucket-source abstraction: a named
+// interface called Source that declares an Of method (airborne.Source in
+// production). Calls dispatched through it obey the same Of-argument
+// rule as the concrete Bytes cache.
+func isSourceInterface(t types.Type) bool {
+	named := derefNamed(t)
+	if named == nil || named.Obj().Name() != "Source" {
+		return false
+	}
+	iface, ok := named.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	for i := 0; i < iface.NumMethods(); i++ {
+		if iface.Method(i).Name() == "Of" {
+			return true
+		}
+	}
+	return false
+}
+
 // checkByteClockFunc walks one function body. For the Of-argument rule
 // it tracks the current function's parameters (descending into closures
 // with their own parameter sets), because "the index the caller was
@@ -124,10 +158,11 @@ func checkByteClockFunc(pass *Pass, fd *ast.FuncDecl) {
 						"Encode() decodes broadcast-image bytes outside the clock-charging path; bytes must be charged to access/tuning through the channel APIs before they are read")
 				}
 				if fn, ok := obj.(*types.Func); ok && fn.Name() == "Of" {
-					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && isBytesType(sig.Recv().Type()) && len(n.Args) == 1 {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil &&
+						(isBytesType(sig.Recv().Type()) || isSourceInterface(sig.Recv().Type())) && len(n.Args) == 1 {
 						if id, ok := ast.Unparen(n.Args[0]).(*ast.Ident); !ok || !params[pass.Info.Uses[id]] {
 							pass.Reportf(n.Args[0].Pos(),
-								"Bytes.Of must be passed the enclosing callback's bucket-index parameter — the bucket that was just read and charged; decoding any other bucket reads bytes the clock never accounted")
+								"Of must be passed the enclosing callback's bucket-index parameter — the bucket that was just read and charged; decoding any other bucket reads bytes the clock never accounted")
 						}
 					}
 				}

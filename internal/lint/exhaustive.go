@@ -11,9 +11,10 @@ import (
 // bucket-kind vocabularies grow:
 //
 //   - A switch over a "Kind" enum (wire.Kind, access.StepKind,
-//     faults.ModelKind, multichannel.PolicyKind — any Kind-suffixed named
-//     type declared in internal/wire, internal/access, internal/faults or
-//     internal/multichannel) must either
+//     faults.ModelKind, multichannel.PolicyKind, aircast.TransportKind,
+//     aircast.ChaosKind — any Kind-suffixed named type declared in
+//     internal/wire, internal/access, internal/faults,
+//     internal/multichannel or internal/aircast) must either
 //     list every package-level constant of
 //     that type or carry an explicit default. Go falls through switches
 //     silently, so adding KindFoo to wire without extending a switch
@@ -36,6 +37,7 @@ var kindEnumPackages = []string{
 	"internal/access",
 	"internal/faults",
 	"internal/multichannel",
+	"internal/aircast",
 }
 
 func runExhaustive(pass *Pass) {

@@ -148,6 +148,26 @@ func TestAnalyzers(t *testing.T) {
 		// byteclock negatives: accessor methods, parameter-indexed Of,
 		// closures with their own parameter sets.
 		{"internal/airborne/good", nil},
+		// byteclock: Of dispatched through the Source interface obeys the
+		// same index discipline as the concrete cache.
+		{"internal/airborne/srcbad", []string{
+			"srcbad.go:14: byteclock",
+		}},
+		{"internal/airborne/srcgood", nil},
+		// exhaustive: the daemon's transport and chaos enums are closed too.
+		{"internal/aircast/badswitch", []string{
+			"badswitch.go:9: exhaustive",
+			"badswitch.go:20: exhaustive",
+		}},
+		{"internal/aircast/goodswitch", nil},
+		// the aircast sanctions: wall clock and concurrency are the
+		// daemon's job, so neither determinism nor confinement fires.
+		{"internal/aircast/daemon", nil},
+		// ...but only the wall-clock ban is lifted: global randomness in
+		// the daemon is still a determinism finding.
+		{"internal/aircast/badrand", []string{
+			"badrand.go:10: determinism",
+		}},
 		// hotalloc: every allocating construct in a marked walker (line 18
 		// carries both the concatenation and the fmt call).
 		{"internal/schemes/hotbad", []string{

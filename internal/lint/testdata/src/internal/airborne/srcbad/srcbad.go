@@ -1,0 +1,15 @@
+// Package srcbad calls Of through the Source interface with an index
+// the callback was never charged for; interface dispatch does not
+// launder the byteclock discipline.
+package srcbad
+
+// Source mirrors the airborne bucket-source abstraction.
+type Source interface {
+	Of(i int) []byte
+	NumBuckets() int
+}
+
+// Wander decodes the neighbour of the bucket it was handed.
+func Wander(src Source, i int) []byte {
+	return src.Of(i + 1) // line 14: not the callback's own index parameter
+}

@@ -1,0 +1,20 @@
+// Package srcgood calls Of through the Source interface only for the
+// bucket index its callback was handed — the one just read and charged.
+package srcgood
+
+// Source mirrors the airborne bucket-source abstraction.
+type Source interface {
+	Of(i int) []byte
+	NumBuckets() int
+}
+
+// OnBucket decodes exactly the bucket it was handed.
+func OnBucket(src Source, i int) int {
+	return len(src.Of(i))
+}
+
+// OnBucketClosure does the same from a callback literal with its own
+// parameter set.
+func OnBucketClosure(src Source) func(int) int {
+	return func(j int) int { return len(src.Of(j)) }
+}

@@ -1,0 +1,21 @@
+// Package aircast mirrors the production daemon's config enums for
+// fixtures: exhaustive treats Kind-suffixed types from internal/aircast
+// as closed.
+package aircast
+
+// TransportKind selects how receivers attach to the broadcast.
+type TransportKind uint8
+
+const (
+	TransportInmem TransportKind = iota
+	TransportUDP
+	TransportTCP
+)
+
+// ChaosKind toggles the transport chaos proxy.
+type ChaosKind uint8
+
+const (
+	ChaosOff ChaosKind = iota
+	ChaosOn
+)

@@ -1,0 +1,11 @@
+// Package badrand pins the edge of the aircast sanction: only the
+// wall-clock ban is lifted there — process-global randomness is still a
+// determinism finding (chaos must draw from a seeded injector).
+package badrand
+
+import "math/rand"
+
+// Flip draws from the global source.
+func Flip() bool {
+	return rand.Intn(2) == 1 // line 10: global randomness
+}

@@ -1,0 +1,25 @@
+// Package badswitch dispatches on the daemon's config enums without
+// covering them; both switches are exhaustive findings.
+package badswitch
+
+import "example.com/airlintfix/internal/aircast"
+
+// Dial misses TransportTCP and has no default.
+func Dial(k aircast.TransportKind) string {
+	switch k {
+	case aircast.TransportInmem:
+		return "inmem"
+	case aircast.TransportUDP:
+		return "udp"
+	}
+	return ""
+}
+
+// Armed misses ChaosOff and has no default.
+func Armed(k aircast.ChaosKind) bool {
+	switch k {
+	case aircast.ChaosOn:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,30 @@
+// Package daemon exercises the aircast sanctions: the live broadcast
+// daemon may read the wall clock (its pacer maps the byte-clock onto
+// real time) and own goroutines, WaitGroups and channels. None of this
+// is a finding inside internal/aircast.
+package daemon
+
+import (
+	"sync"
+	"time"
+)
+
+// Pace sleeps until the byte-clock target, wall-clock style.
+func Pace(target time.Time) {
+	if d := time.Until(target); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Serve fans a frame out to one subscriber and joins it.
+func Serve(frame []byte) {
+	ch := make(chan []byte, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-ch
+	}()
+	ch <- frame
+	wg.Wait()
+}

@@ -1,0 +1,28 @@
+// Package goodswitch covers the daemon's config enums: a full case list
+// and an explicit default both satisfy exhaustive.
+package goodswitch
+
+import "example.com/airlintfix/internal/aircast"
+
+// Dial lists every transport.
+func Dial(k aircast.TransportKind) string {
+	switch k {
+	case aircast.TransportInmem:
+		return "inmem"
+	case aircast.TransportUDP:
+		return "udp"
+	case aircast.TransportTCP:
+		return "tcp"
+	}
+	return ""
+}
+
+// Armed handles the unexpected explicitly.
+func Armed(k aircast.ChaosKind) bool {
+	switch k {
+	case aircast.ChaosOn:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,107 @@
+package wire
+
+import (
+	"errors"
+
+	"github.com/airindex/airindex/internal/units"
+)
+
+// This file is the transport-framing half of the live broadcast daemon
+// (internal/aircast): one encoded bucket becomes one sequenced datagram
+// that can survive reordering, loss and corruption on a real link. The
+// frame layout is
+//
+//	magic (1) | epoch (4) | cycle offset (8) | bucket index (4) | payload | CRC32C (4)
+//
+// sealed with the same wire.Seal/Verify trailer the simulator's
+// unreliable-channel layer uses, so the chaos proxy's bit flips are
+// detected by exactly the mechanism the recovery walkers already trust.
+// Epoch identifies the broadcast image (bumped on every reconfiguration,
+// so mid-cycle clients restart cleanly); cycle offset is the bucket's
+// byte position within its cycle (the receiver's byte-clock anchor);
+// bucket index sequences the datagram within the cycle. Like the CRC
+// sideband (DESIGN.md §7), the header and trailer are transport overhead
+// outside the byte-clock: a client's tuning time counts only the payload
+// bytes, which are exactly the bucket's simulator-visible encoding.
+
+// DatagramMagic is the first byte of every sealed datagram frame; a frame
+// opening with anything else was never produced by an aircast server.
+const DatagramMagic = 0xA7
+
+// datagramHeaderLen is the raw width of the datagram header: magic (1),
+// epoch (4), cycle offset (8), bucket index (4).
+const datagramHeaderLen = 1 + 4 + 8 + 4
+
+// DatagramOverhead is the per-datagram transport overhead in bytes: the
+// header plus the CRC32C trailer. A received frame of length n carries a
+// bucket payload of n - DatagramOverhead bytes — the quantity charged to
+// tuning time even when the frame fails verification (the receiver
+// listened to the whole frame either way).
+const DatagramOverhead units.ByteCount = datagramHeaderLen + ChecksumSize
+
+// ErrMagic is the sentinel wrapped when a frame does not open with
+// DatagramMagic: the bytes are intact (the CRC matched) but they are not
+// an aircast datagram.
+var ErrMagic = errors.New("wire: not a datagram frame")
+
+// Datagram is one decoded transport frame: the framing fields plus the
+// bucket's simulator-visible encoding.
+type Datagram struct {
+	// Epoch identifies the broadcast image the datagram belongs to; it is
+	// bumped on every graceful reconfiguration.
+	Epoch uint32
+	// Offset is the bucket's byte position within its broadcast cycle —
+	// the receiver's anchor for reconstructing the byte-clock.
+	Offset units.ByteOffset
+	// Bucket is the bucket's index within the cycle.
+	Bucket units.BucketIndex
+	// Payload is the bucket's encoded bytes, exactly as the simulator's
+	// channel would charge them.
+	Payload []byte
+}
+
+// EncodeDatagram seals one bucket payload into a transport frame. The
+// payload is copied; the input slice is not retained.
+func EncodeDatagram(d Datagram) []byte {
+	w := NewWriter(units.Bytes(datagramHeaderLen + len(d.Payload)))
+	w.U8(DatagramMagic)
+	w.U32(d.Epoch)
+	w.U64(uint64(d.Offset))
+	w.U32(uint32(d.Bucket))
+	w.Raw(d.Payload)
+	return Seal(w.Bytes())
+}
+
+// DecodeDatagram verifies and parses a received frame. Every failure is a
+// *DecodeError: wrapping ErrTruncated when the frame is too short for its
+// trailer or header, ErrChecksum when the trailer does not match (the
+// frame was corrupted in flight — nothing in it may be trusted), and
+// ErrMagic when an intact frame is not an aircast datagram. The returned
+// payload aliases the frame; callers that retain it across reads of the
+// same buffer must copy.
+func DecodeDatagram(frame []byte) (Datagram, error) {
+	payload, err := Verify(frame)
+	if err != nil {
+		return Datagram{}, err
+	}
+	r := NewReader(payload)
+	magic := r.U8()
+	d := Datagram{
+		Epoch:  r.U32(),
+		Offset: units.Offset64(int64(r.U64())),
+		Bucket: units.Index(int(int32(r.U32()))),
+	}
+	if err := r.Err(); err != nil {
+		return Datagram{}, err
+	}
+	if magic != DatagramMagic {
+		return Datagram{}, &DecodeError{Op: "magic", Need: 1, Pos: 0, Len: len(frame), Err: ErrMagic}
+	}
+	d.Payload = r.Raw(r.Remaining())
+	if d.Payload == nil {
+		// Remaining() is never negative, so a zero-length tail decodes to
+		// an empty (non-nil) payload for round-trip equality.
+		d.Payload = payload[len(payload):]
+	}
+	return d, nil
+}

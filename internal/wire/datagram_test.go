@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/airindex/airindex/internal/units"
+)
+
+func TestDatagramRoundTrip(t *testing.T) {
+	for _, d := range []Datagram{
+		{Epoch: 0, Offset: 0, Bucket: 0, Payload: []byte{}},
+		{Epoch: 7, Offset: 123456, Bucket: 42, Payload: []byte("bucket bytes")},
+		{Epoch: 1<<32 - 1, Offset: units.Offset64(1 << 40), Bucket: 99999, Payload: make([]byte, 512)},
+	} {
+		frame := EncodeDatagram(d)
+		if got := units.Bytes(len(frame) - len(d.Payload)); got != DatagramOverhead {
+			t.Fatalf("frame overhead %d bytes, want %d", got, DatagramOverhead)
+		}
+		back, err := DecodeDatagram(frame)
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", d, err)
+		}
+		if back.Epoch != d.Epoch || back.Offset != d.Offset || back.Bucket != d.Bucket {
+			t.Fatalf("header mangled: sent %+v got %+v", d, back)
+		}
+		if string(back.Payload) != string(d.Payload) {
+			t.Fatalf("payload mangled: %q != %q", back.Payload, d.Payload)
+		}
+	}
+}
+
+// TestDatagramErrorVariants pins the typed error per failure mode:
+// truncation, corruption, and a frame that was never a datagram.
+func TestDatagramErrorVariants(t *testing.T) {
+	frame := EncodeDatagram(Datagram{Epoch: 3, Offset: 10, Bucket: 1, Payload: []byte("p")})
+
+	// Too short for even the CRC trailer.
+	if _, err := DecodeDatagram(frame[:2]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short frame err = %v, want ErrTruncated", err)
+	}
+	// Intact trailer over a payload too short for the header.
+	if _, err := DecodeDatagram(Seal([]byte{DatagramMagic, 0})); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short header err = %v, want ErrTruncated", err)
+	}
+	// A flipped bit anywhere fails the checksum.
+	bad := make([]byte, len(frame))
+	copy(bad, frame)
+	bad[5] ^= 0x10
+	if _, err := DecodeDatagram(bad); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt frame err = %v, want ErrChecksum", err)
+	}
+	// An intact sealed frame that is not a datagram.
+	w := NewWriter(datagramHeaderLen)
+	w.U8(0x00) // wrong magic
+	w.U32(3)
+	w.U64(10)
+	w.U32(1)
+	if _, err := DecodeDatagram(Seal(w.Bytes())); !errors.Is(err, ErrMagic) {
+		t.Fatalf("wrong magic err = %v, want ErrMagic", err)
+	}
+	// Every variant is a *DecodeError.
+	for _, f := range [][]byte{frame[:2], bad, Seal(w.Bytes())} {
+		_, err := DecodeDatagram(f)
+		var de *DecodeError
+		if !errors.As(err, &de) {
+			t.Fatalf("error %v is not a *DecodeError", err)
+		}
+	}
+}
+
+// FuzzDatagram holds the transport decoder to the same no-panic,
+// typed-error contract as the bucket Reader: arbitrary bytes either
+// decode or fail with a *DecodeError, and every well-formed frame
+// round-trips unchanged.
+func FuzzDatagram(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{DatagramMagic})
+	f.Add(EncodeDatagram(Datagram{Epoch: 1, Offset: 77, Bucket: 3, Payload: []byte("seed")}))
+	f.Add(EncodeDatagram(Datagram{Payload: nil}))
+	f.Add(Seal([]byte{DatagramMagic, 1, 2, 3}))
+	f.Add(make([]byte, 64))
+	f.Fuzz(func(t *testing.T, p []byte) {
+		d, err := DecodeDatagram(p)
+		if err != nil {
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("decode error %v is not a *DecodeError", err)
+			}
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrMagic) {
+				t.Fatalf("decode error %v wraps none of the datagram sentinels", err)
+			}
+			return
+		}
+		// A frame that decodes must re-encode byte-identically.
+		if got := EncodeDatagram(d); string(got) != string(p) {
+			t.Fatalf("re-encode differs: %x != %x", got, p)
+		}
+	})
+}
