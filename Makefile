@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-only lint-flow lint-escape test test-race cover bench bench-gate bench-baseline experiments experiments-fast faults-sweep multich-sweep examples aircast-demo aircast-e2e clean
+.PHONY: all build vet lint lint-only lint-flow lint-escape test test-race cover bench bench-gate bench-baseline experiments experiments-fast scenarios scenarios-check faults-sweep multich-sweep examples aircast-demo aircast-e2e clean
 
 all: build vet lint test
 
@@ -65,6 +65,17 @@ experiments:
 
 experiments-fast:
 	$(GO) run ./cmd/airbench -fast all
+
+# Compile and run every scenarios/*.airql at the full paper profile,
+# rewriting results/ in place. CI's airql-regen job runs the same thing
+# into a scratch directory and byte-diffs it against the committed CSVs.
+scenarios:
+	$(GO) run ./cmd/airql -out . scenarios/*.airql
+
+# Type-check every scenario script without running anything (the same
+# gate CI runs before airql-regen).
+scenarios-check:
+	$(GO) run ./cmd/airql -check scenarios/*.airql
 
 # Unreliable-channel degradation sweep: error rate 0-10% over all schemes
 # (results/faults-at.csv, faults-tt.csv, faults-recovery.csv).

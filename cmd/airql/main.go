@@ -1,0 +1,143 @@
+// Command airql compiles and runs airql scenario scripts — the pipeline
+// DSL (SWEEP | RUN | TABLE | EMIT) that generates every experiment
+// family in this repository. Scripts name knobs from the simulator's
+// real configuration surface; the compiler type-checks every one against
+// it and reports misuse with line:column positions before anything runs.
+//
+// Examples:
+//
+//	airql -run scenarios/fig4.airql     # compile, run, honour EMIT sinks
+//	airql -check scenarios/*.airql      # compile only; report errors
+//	airql -list                         # list the embedded scenarios
+//	airql -fast -out /tmp fig5          # embedded script, fast profile
+//
+// A script argument is a path if it exists on disk; otherwise it names
+// an embedded scenario ("fig4" or "fig4.airql"). EMIT csv(...) paths are
+// joined to -out; summary(stdout) sinks write to standard output. A
+// script with no EMIT stage prints its tables as aligned text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/airindex/airindex/internal/airql"
+	"github.com/airindex/airindex/scenarios"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "airql:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("airql", flag.ContinueOnError)
+	check := fs.Bool("check", false, "compile the scripts and report errors, but do not run them")
+	list := fs.Bool("list", false, "list the embedded scenario scripts and exit")
+	runMode := fs.Bool("run", false, "compile and run the scripts (the default mode)")
+	fast := fs.Bool("fast", false, "reduced workloads and relaxed stopping rule (selects the scripts' fast(...) variants)")
+	seed := fs.Int64("seed", 0, "seed override; wins over a script's RUN seed (0 = default)")
+	shards := fs.Int("shards", 0, "shards per simulation run; results depend on (seed, shards) only (0 = script or sequential)")
+	engine := fs.String("engine", "", "request engine for every point: events (default) or cohort; results are bit-identical")
+	outDir := fs.String("out", ".", "root directory EMIT csv(...) paths are resolved against")
+	quiet := fs.Bool("quiet", false, "suppress per-point progress lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, name := range scenarios.Names() {
+			fmt.Fprintln(out, name)
+		}
+		return nil
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return fmt.Errorf("no scripts given; use -list for the embedded scenarios or pass *.airql paths")
+	}
+	if *check && *runMode {
+		return fmt.Errorf("-check and -run are mutually exclusive")
+	}
+
+	opt := airql.Options{Fast: *fast, Seed: *seed, Shards: *shards, Engine: *engine}
+	if !*quiet {
+		opt.Progress = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "  "+format+"\n", a...)
+		}
+	}
+
+	failed := 0
+	for _, arg := range files {
+		file, src, err := load(arg)
+		if err != nil {
+			return err
+		}
+		prog, err := airql.Compile(file, src)
+		if err != nil {
+			if !*check {
+				return err
+			}
+			failed++
+			fmt.Fprintln(out, err)
+			continue
+		}
+		if *check {
+			fmt.Fprintf(out, "%s: ok\n", file)
+			continue
+		}
+		tables, err := airql.Execute(prog, opt)
+		if err != nil {
+			return err
+		}
+		if err := airql.Emit(prog, tables, *outDir, out); err != nil {
+			return err
+		}
+		if !hasSinks(prog) {
+			for _, tb := range tables {
+				if err := tb.WriteText(out); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scripts failed to compile", failed, len(files))
+	}
+	return nil
+}
+
+// load resolves a script argument: an on-disk path wins; otherwise the
+// argument names an embedded scenario, with ".airql" optional.
+func load(arg string) (file, src string, err error) {
+	if b, err := os.ReadFile(arg); err == nil {
+		return arg, string(b), nil
+	} else if !os.IsNotExist(err) {
+		return "", "", err
+	}
+	name := arg
+	if !strings.HasSuffix(name, ".airql") {
+		name += ".airql"
+	}
+	src, serr := scenarios.Source(name)
+	if serr != nil {
+		return "", "", fmt.Errorf("%s: not a file and not an embedded scenario (have: %s)",
+			arg, strings.Join(scenarios.Names(), " "))
+	}
+	return name, src, nil
+}
+
+func hasSinks(prog *airql.Program) bool {
+	if len(prog.LooseSinks) > 0 {
+		return true
+	}
+	for _, t := range prog.Tables {
+		if len(t.Sinks) > 0 {
+			return true
+		}
+	}
+	return false
+}

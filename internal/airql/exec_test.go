@@ -1,0 +1,211 @@
+package airql
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func compile(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Compile("t.airql", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestExecuteTinySweep runs a two-point flat sweep end to end and checks
+// the table geometry and the x bindings.
+func TestExecuteTinySweep(t *testing.T) {
+	prog := compile(t, `
+SWEEP records=1000,2000
+SWEEP scheme=flat
+TABLE tiny title("tiny sweep") x(records)
+COL "access" mean(access)
+COL "per-req" requests
+EMIT csv(results/tiny.csv)
+`)
+	ts, err := Execute(prog, Options{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 {
+		t.Fatalf("got %d tables, want 1", len(ts))
+	}
+	tb := ts[0]
+	if tb.ID != "tiny" || tb.Title != "tiny sweep" {
+		t.Fatalf("table header wrong: %+v", tb)
+	}
+	if !reflect.DeepEqual(tb.Columns, []string{"access", "per-req"}) {
+		t.Fatalf("columns %v", tb.Columns)
+	}
+	if len(tb.Rows) != 2 || tb.Rows[0].X != 1000 || tb.Rows[1].X != 2000 {
+		t.Fatalf("rows %+v", tb.Rows)
+	}
+	a1, a2 := tb.Rows[0].Cells[0], tb.Rows[1].Cells[0]
+	if !(a1 > 0 && a2 > a1) {
+		t.Errorf("flat access should grow with records: %v then %v", a1, a2)
+	}
+}
+
+// TestExecuteDeterministic: same script, same options, same tables.
+func TestExecuteDeterministic(t *testing.T) {
+	src := `
+SWEEP records=1000,2000
+SWEEP scheme=flat
+TABLE tiny x(records)
+COL "access" mean(access)
+EMIT csv(results/tiny.csv)
+`
+	run := func() []*Table {
+		ts, err := Execute(compile(t, src), Options{Fast: true, Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ts
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Fatal("repeated execution differed")
+	}
+}
+
+// TestRunSeedMergeSemantics: a script's RUN seed applies only when the
+// session leaves Seed at zero, so the session flag wins.
+func TestRunSeedMergeSemantics(t *testing.T) {
+	withRun := `
+RUN seed=7
+SWEEP records=1000
+SWEEP scheme=flat
+TABLE tiny x(records)
+COL "access" mean(access)
+EMIT csv(results/tiny.csv)
+`
+	without := strings.Replace(withRun, "RUN seed=7\n", "", 1)
+	exec := func(src string, opt Options) *Table {
+		ts, err := Execute(compile(t, src), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ts[0]
+	}
+	scriptSeed := exec(withRun, Options{Fast: true})
+	sessionSeed := exec(without, Options{Fast: true, Seed: 7})
+	if !reflect.DeepEqual(scriptSeed, sessionSeed) {
+		t.Error("RUN seed=7 and session Seed=7 should produce identical tables")
+	}
+	overridden := exec(withRun, Options{Fast: true, Seed: 8})
+	if reflect.DeepEqual(scriptSeed, overridden) {
+		t.Error("session Seed=8 should override the script's RUN seed=7")
+	}
+}
+
+// TestImplicitTable: a script with EMIT but no TABLE gets the default
+// access/tuning table over the first numeric axis, named after the file.
+func TestImplicitTable(t *testing.T) {
+	prog := compile(t, `
+SWEEP records=1000,2000
+SWEEP scheme=flat,sig
+EMIT csv(results/sweep.csv)
+`)
+	ts, err := Execute(prog, Options{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ts[0]
+	if tb.ID != "t" {
+		t.Errorf("implicit table named %q, want the script base name", tb.ID)
+	}
+	want := []string{
+		"scheme=flat access", "scheme=flat tuning",
+		"scheme=sig access", "scheme=sig tuning",
+	}
+	if !reflect.DeepEqual(tb.Columns, want) {
+		t.Fatalf("implicit columns %v, want %v", tb.Columns, want)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows %+v", tb.Rows)
+	}
+}
+
+// TestNoteInterpolation: {knob} and {count(axis)} render from the
+// compiled constants; an unset records knob falls back to the profile's
+// comparison default.
+func TestNoteInterpolation(t *testing.T) {
+	prog := compile(t, `
+SWEEP k=1,2,4 scheme=flat
+SET records=1200 multi.channels=k
+TABLE tiny x(k)
+COL "access" mean(access)
+NOTE "workload: {records} records over {count(k)} channel counts"
+EMIT csv(results/tiny.csv)
+`)
+	ts, err := Execute(prog, Options{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	notes := strings.Join(ts[0].Notes, "\n")
+	if !strings.Contains(notes, "1200 records over 3 channel counts") {
+		t.Errorf("note interpolation wrong: %q", notes)
+	}
+}
+
+// TestEmitSinks: csv paths land under the output root, summaries write
+// to the given writer.
+func TestEmitSinks(t *testing.T) {
+	prog := compile(t, `
+SWEEP records=1000 scheme=flat
+TABLE tiny x(records)
+COL "access" mean(access)
+EMIT csv(out/tiny.csv) summary(stdout)
+`)
+	ts, err := Execute(prog, Options{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	var stdout bytes.Buffer
+	if err := Emit(prog, ts, root, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(root, "out", "tiny.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), "records,access\n") {
+		t.Errorf("csv header wrong:\n%s", b)
+	}
+	if !strings.Contains(stdout.String(), "tiny") {
+		t.Errorf("summary output missing table:\n%s", stdout.String())
+	}
+}
+
+// TestAttrQueryMode runs the attribute-query executor on a tiny
+// workload and checks the signature filter beats the flat scan.
+func TestAttrQueryMode(t *testing.T) {
+	prog := compile(t, `
+RUN mode=attrquery
+SWEEP records=500,1000
+TABLE tiny x(records)
+COL "flat tuning" attr(flat_tuning)
+COL "sig tuning" attr(sig_tuning)
+EMIT csv(results/tiny.csv)
+`)
+	ts, err := Execute(prog, Options{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ts[0]
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows %+v", tb.Rows)
+	}
+	for i, r := range tb.Rows {
+		flat, sig := r.Cells[0], r.Cells[1]
+		if !(sig > 0 && sig < flat) {
+			t.Errorf("row %d: signature tuning %v should undercut flat %v", i, sig, flat)
+		}
+	}
+}

@@ -1,4 +1,4 @@
-package experiments
+package airql
 
 import (
 	"errors"
@@ -17,7 +17,8 @@ import (
 // the testbed's only sanctioned concurrency layers: the confinement
 // analyzer (internal/lint) rejects goroutines, WaitGroups and channel
 // construction everywhere else, so the simulation kernel below this point
-// is single-threaded by construction.
+// is single-threaded by construction. It moved here with the executor
+// when the experiment harness became a set of compiled scenarios.
 func runPoints(opt Options, cfgs []core.Config) ([]*core.Result, error) {
 	results := make([]*core.Result, len(cfgs))
 	errs := make([]error, len(cfgs))

@@ -1,9 +1,4 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (§4 simulation, §5 comparison), plus the ablation studies
-// listed in DESIGN.md. Each experiment produces Tables: the same rows and
-// series the paper plots, with simulated "(S)" and — where the paper has
-// them — analytical "(A)" columns side by side.
-package experiments
+package airql
 
 import (
 	"encoding/csv"
@@ -15,7 +10,8 @@ import (
 )
 
 // Table is one figure or table: an x column plus one value column per
-// series.
+// series. It used to live in internal/experiments; the EMIT sink layer
+// is its single home now, and experiments re-exports it as an alias.
 type Table struct {
 	// ID names the paper artifact, e.g. "fig4a".
 	ID string
@@ -41,7 +37,7 @@ type Row struct {
 // AddRow appends a row, checking its arity.
 func (t *Table) AddRow(x float64, cells ...float64) {
 	if len(cells) != len(t.Columns) {
-		panic(fmt.Sprintf("experiments: row has %d cells for %d columns", len(cells), len(t.Columns)))
+		panic(fmt.Sprintf("airql: row has %d cells for %d columns", len(cells), len(t.Columns)))
 	}
 	t.Rows = append(t.Rows, Row{X: x, Cells: cells})
 }

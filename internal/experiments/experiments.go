@@ -1,127 +1,123 @@
+// Package experiments names the paper's experiment families and runs
+// them. Every simulation family is a compiled airql scenario: the runner
+// fetches the family's script from the embedded scenarios package,
+// compiles it with internal/airql, and executes it — the scripts under
+// scenarios/ are the single source of truth for the sweeps, and
+// `cmd/airql` runs the very same texts. Only Table 1 (a constants table,
+// not a sweep) is assembled natively.
 package experiments
 
 import (
 	"fmt"
 	"sort"
 
-	"github.com/airindex/airindex/internal/analytical"
+	"github.com/airindex/airindex/internal/airql"
 	"github.com/airindex/airindex/internal/core"
-	"github.com/airindex/airindex/internal/faults"
-	"github.com/airindex/airindex/internal/multichannel"
-	"github.com/airindex/airindex/internal/schemes/dist"
-	"github.com/airindex/airindex/internal/schemes/flat"
-	"github.com/airindex/airindex/internal/schemes/hashing"
-	"github.com/airindex/airindex/internal/schemes/onem"
-	"github.com/airindex/airindex/internal/schemes/signature"
-	"github.com/airindex/airindex/internal/units"
-	"github.com/airindex/airindex/internal/wire"
+	"github.com/airindex/airindex/scenarios"
 )
 
-// Options tunes how experiments run.
-type Options struct {
-	// Fast shrinks workloads and relaxes the stopping rule for test and
-	// benchmark runs; the full mode uses the paper's Table 1 settings.
-	Fast bool
-	// Seed overrides the run seed (0 keeps the default).
-	Seed int64
-	// Shards forwards core.Config.Shards to every point: each run's
-	// accuracy-control rounds execute across this many deterministic RNG
-	// substreams (0 keeps the single-shard default). Results depend on
-	// (Seed, Shards) but not on scheduling; see DESIGN.md §7.
-	Shards int
-	// Engine forwards core.Config.Engine to every point: "" or "events"
-	// keeps the reference event-driven engine, "cohort" batches each
-	// point's requests through the columnar engine. The tables are
-	// bit-identical either way (the cohort engine's differential
-	// guarantee); only the wall-clock changes.
-	Engine string
-	// Faults applies the deterministic unreliable-channel layer
-	// (internal/faults) to every point. The zero value keeps the perfect
-	// channel; a zero-rate model reproduces the perfect channel's tables
-	// byte for byte, because the fault process draws from its own RNG
-	// substream. Experiments that sweep an error layer themselves
-	// (ablate-errors, faults) override this per point.
-	Faults faults.Config
-	// Multi applies the K-channel broadcast subsystem to every point. The
-	// zero value keeps the paper's single channel; a one-channel
-	// replicated allocation with zero switch cost reproduces the
-	// single-channel tables byte for byte (the hopping walkers consume no
-	// RNG). The multich experiment sweeps its own allocations per point.
-	Multi multichannel.Config
-	// Progress, when non-nil, receives one line per completed point.
-	Progress func(format string, args ...any)
-}
+// Options tunes how experiments run. It is the scenario executor's
+// options type: session-wide flags (profile, seed, shards, engine,
+// fault and multichannel layers) that merge with each script's RUN
+// stage, session side winning.
+type Options = airql.Options
 
-func (o Options) progress(format string, args ...any) {
-	if o.Progress != nil {
-		o.Progress(format, args...)
-	}
-}
+// Table is one experiment result table; Row is one of its rows.
+type Table = airql.Table
 
-// baseConfig applies the stopping-rule profile to a scheme/record pair.
-func (o Options) baseConfig(scheme string, records int) core.Config {
-	cfg := core.DefaultConfig(scheme, records)
-	if o.Fast {
-		cfg.RoundSize = 250
-		cfg.Accuracy = 0.02
-		cfg.MinRequests = 1500
-		cfg.MaxRequests = 20000
-	} else {
-		// Table 1: 0.99 confidence, 0.01 accuracy, 500-request rounds.
-		cfg.MinRequests = 5000
-		cfg.MaxRequests = 60000
-	}
-	if o.Seed != 0 {
-		cfg.Seed = o.Seed
-	}
-	if o.Shards > 0 {
-		cfg.Shards = o.Shards
-	}
-	cfg.Engine = o.Engine
-	cfg.Faults = o.Faults
-	cfg.Multi = o.Multi
-	return cfg
-}
+// Row is one x-labelled result row of a Table.
+type Row = airql.Row
 
-// recordSweep is the x axis of Figure 4 (Table 1: 7,000–34,000 records).
-func (o Options) recordSweep() []int {
-	if o.Fast {
-		// Past 1,728 records the default geometry's tree reaches the same
-		// depth regime as the paper's sweep, so the Figure 4 orderings hold.
-		return []int{2000, 2500, 3000, 3500}
-	}
-	return []int{7000, 11500, 16000, 20500, 25000, 29500, 34000}
-}
-
-// comparisonRecords sizes the Figures 5 and 6 workloads.
-func (o Options) comparisonRecords() int {
-	if o.Fast {
-		// Above 13^3 = 2,197 records the default geometry's tree has four
-		// levels, the regime where the paper's tuning orderings hold.
-		return 2500
-	}
-	return 10000
+// analytic returns the paper's model predictions in bytes for a finished
+// run, or NaNs when the paper gives no closed form for the setting. The
+// implementation lives with the scenario executor, which serves it as
+// the analytic(...) metric.
+func analytic(cfg core.Config, res *core.Result) (accessBytes, tuningBytes float64) {
+	return airql.Analytic(cfg, res)
 }
 
 // Runner is one experiment: it produces one or more tables.
 type Runner func(Options) ([]*Table, error)
 
+// runScenario compiles and executes one embedded scenario script.
+func runScenario(name string, opt Options) ([]*Table, error) {
+	file := name + ".airql"
+	src, err := scenarios.Source(file)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", name, err)
+	}
+	prog, err := airql.Compile(file, src)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", name, err)
+	}
+	return airql.Execute(prog, opt)
+}
+
+// scenario adapts an embedded script name to a Runner.
+func scenario(name string) Runner {
+	return func(opt Options) ([]*Table, error) { return runScenario(name, opt) }
+}
+
+// Fig4 reproduces the paper's Figure 4 (access and tuning time vs.
+// database size) from scenarios/fig4.airql.
+func Fig4(opt Options) ([]*Table, error) { return runScenario("fig4", opt) }
+
+// Fig5 reproduces Figure 5 (data availability sweep).
+func Fig5(opt Options) ([]*Table, error) { return runScenario("fig5", opt) }
+
+// Fig6 reproduces Figure 6 (record size / key size ratio sweep).
+func Fig6(opt Options) ([]*Table, error) { return runScenario("fig6", opt) }
+
+// AblateReplication sweeps the distributed scheme's replication depth r.
+func AblateReplication(opt Options) ([]*Table, error) { return runScenario("ablate-r", opt) }
+
+// AblateM sweeps the (1,m) scheme's index repetition count m.
+func AblateM(opt Options) ([]*Table, error) { return runScenario("ablate-m", opt) }
+
+// AblateSignatureLength sweeps the signature size in bytes.
+func AblateSignatureLength(opt Options) ([]*Table, error) { return runScenario("ablate-sig", opt) }
+
+// AblateHashAllocation sweeps the hashing scheme's load factor.
+func AblateHashAllocation(opt Options) ([]*Table, error) { return runScenario("ablate-hash", opt) }
+
+// AblateErrorRate sweeps the legacy bit-error layer for the two
+// selective schemes. The script clears any session-wide fault model
+// (the two layers are mutually exclusive).
+func AblateErrorRate(opt Options) ([]*Table, error) { return runScenario("ablate-errors", opt) }
+
+// FaultSweep sweeps the deterministic unreliable-channel layer's loss
+// rate over all five comparison schemes.
+func FaultSweep(opt Options) ([]*Table, error) { return runScenario("faults", opt) }
+
+// MultichSweep sweeps the K-channel allocation over all five comparison
+// schemes for free and one-page channel switches.
+func MultichSweep(opt Options) ([]*Table, error) { return runScenario("multich", opt) }
+
+// ExtSignatureFamily runs the signature-variant extension family.
+func ExtSignatureFamily(opt Options) ([]*Table, error) { return runScenario("ext-signatures", opt) }
+
+// ExtBroadcastDisks runs the broadcast-disks-vs-flat extension family.
+func ExtBroadcastDisks(opt Options) ([]*Table, error) { return runScenario("ext-bdisk", opt) }
+
+// ExtMultiAttribute runs the attribute-query extension family.
+func ExtMultiAttribute(opt Options) ([]*Table, error) { return runScenario("ext-multiattr", opt) }
+
 // registry maps experiment IDs to runners.
 var registry = map[string]Runner{
 	"table1":         Table1,
-	"fig4":           Fig4,
-	"fig5":           Fig5,
-	"fig6":           Fig6,
-	"ablate-r":       AblateReplication,
-	"ablate-m":       AblateM,
-	"ablate-sig":     AblateSignatureLength,
-	"ablate-hash":    AblateHashAllocation,
-	"ablate-errors":  AblateErrorRate,
-	"faults":         FaultSweep,
-	"multich":        MultichSweep,
-	"ext-signatures": ExtSignatureFamily,
-	"ext-bdisk":      ExtBroadcastDisks,
-	"ext-multiattr":  ExtMultiAttribute,
+	"fig4":           scenario("fig4"),
+	"fig5":           scenario("fig5"),
+	"fig6":           scenario("fig6"),
+	"ablate-r":       scenario("ablate-r"),
+	"ablate-m":       scenario("ablate-m"),
+	"ablate-sig":     scenario("ablate-sig"),
+	"ablate-hash":    scenario("ablate-hash"),
+	"ablate-errors":  scenario("ablate-errors"),
+	"faults":         scenario("faults"),
+	"multich":        scenario("multich"),
+	"ext-signatures": scenario("ext-signatures"),
+	"ext-bdisk":      scenario("ext-bdisk"),
+	"ext-multiattr":  scenario("ext-multiattr"),
 }
 
 // tableAliases name a single table of a multi-table experiment, so e.g.
@@ -180,75 +176,13 @@ func RunAll(opt Options) ([]*Table, error) {
 	return out, nil
 }
 
-// analytic returns the paper's model predictions in bytes for a finished
-// run, or NaNs when the paper gives no closed form for the setting.
-func analytic(cfg core.Config, res *core.Result) (accessBytes, tuningBytes float64) {
-	if cfg.Multi.Enabled() {
-		return analyticMulti(cfg, res)
-	}
-	nan := func() (float64, float64) { return nanF, nanF }
-	p := res.Params
-	switch cfg.Scheme {
-	case flat.Name:
-		bucket := float64(wire.HeaderSize + units.Bytes(cfg.Data.RecordSize))
-		return analytical.FlatAccess(cfg.Data.NumRecords) * bucket,
-			analytical.FlatTuning(cfg.Data.NumRecords) * bucket
-	case dist.Name:
-		tp := analytical.TreeParams{
-			Fanout:     int(p["fanout"]),
-			Levels:     analytical.LevelsFor(int(p["fanout"]), cfg.Data.NumRecords),
-			Replicated: int(p["r"]),
-			Records:    cfg.Data.NumRecords,
-		}
-		return analytical.DistAccess(tp) * p["bucket_size"],
-			analytical.DistTuning(tp) * p["bucket_size"]
-	case onem.Name:
-		tp := analytical.TreeParams{
-			Fanout:  int(p["fanout"]),
-			Levels:  analytical.LevelsFor(int(p["fanout"]), cfg.Data.NumRecords),
-			Records: cfg.Data.NumRecords,
-		}
-		return analytical.OneMAccess(tp, int(p["m"])) * p["bucket_size"],
-			analytical.OneMTuning(tp) * p["bucket_size"]
-	case hashing.Name:
-		hp := analytical.HashParams{
-			Allocated: p["Na"],
-			Colliding: p["Nc"],
-			Records:   float64(cfg.Data.NumRecords),
-		}
-		// Cycle buckets = Na + Nc (every record plus one filler per empty
-		// position), all uniform size.
-		bucket := float64(res.CycleBytes) / (p["Na"] + p["Nc"])
-		return analytical.HashingAccess(hp) * bucket,
-			analytical.HashingTuning(hp) * bucket
-	case signature.Name:
-		dataBytes := float64(wire.HeaderSize + units.Bytes(cfg.Data.RecordSize))
-		sigBytes := float64(wire.HeaderSize + units.Bytes(cfg.Signature.SigBytes))
-		fields := cfg.Data.NumAttributes + 1
-		fd := analytical.SignatureExpectedFalseDrops(cfg.Data.NumRecords,
-			cfg.Signature.SigBytes, cfg.Signature.BitsPerField, fields)
-		return analytical.SignatureAccess(cfg.Data.NumRecords, dataBytes, sigBytes),
-			analytical.SignatureTuning(cfg.Data.NumRecords, dataBytes, sigBytes, fd)
-	default:
-		// Extension schemes (bdisk, hybrid, the signature variants) have
-		// no closed form in the paper; the registry accepts any name, so
-		// an unlisted scheme is expected here, not a bug.
-		return nan()
-	}
-}
-
-var nanF = func() float64 {
-	var z float64
-	return z / z // quiet NaN without importing math here
-}()
-
 // Table1 reproduces the paper's Table 1: the common simulation settings.
 // The table always states the paper's constants — 7,000–34,000 records,
 // 500-request rounds, 0.99 confidence, 0.01 accuracy — whatever profile
 // the session runs with; the active profile is a note, not the data.
 func Table1(opt Options) ([]*Table, error) {
 	paper := Options{}
-	cfg := paper.baseConfig("distributed", 34000)
+	cfg := paper.BaseConfig("distributed", 34000)
 	t := &Table{
 		ID:     "table1",
 		Title:  "Simulation settings (paper Table 1)",
@@ -259,7 +193,7 @@ func Table1(opt Options) ([]*Table, error) {
 			"round_requests", "confidence", "accuracy", "max_requests",
 		},
 	}
-	sweep := paper.recordSweep()
+	sweep := paper.RecordSweep()
 	t.AddRow(1,
 		float64(sweep[0]), float64(sweep[len(sweep)-1]),
 		float64(cfg.Data.RecordSize), float64(cfg.Data.KeySize),
@@ -268,8 +202,8 @@ func Table1(opt Options) ([]*Table, error) {
 	t.Note("data type: text (synthetic dictionary); request interval: exponential distribution")
 	t.Note("access and tuning time measured in bytes read, per paper §4.1")
 	if opt.Fast {
-		fastCfg := opt.baseConfig("distributed", 34000)
-		fastSweep := opt.recordSweep()
+		fastCfg := opt.BaseConfig("distributed", 34000)
+		fastSweep := opt.RecordSweep()
 		t.Note("active profile: fast — records %d–%d, rounds of %d, accuracy %g, max %d requests",
 			fastSweep[0], fastSweep[len(fastSweep)-1],
 			fastCfg.RoundSize, fastCfg.Accuracy, fastCfg.MaxRequests)

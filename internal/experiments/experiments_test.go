@@ -152,10 +152,10 @@ func TestTableAliases(t *testing.T) {
 // core config.
 func TestOptionsShardsForwarded(t *testing.T) {
 	opt := Options{Fast: true, Shards: 4}
-	if cfg := opt.baseConfig("flat", 100); cfg.Shards != 4 {
+	if cfg := opt.BaseConfig("flat", 100); cfg.Shards != 4 {
 		t.Fatalf("baseConfig dropped Shards: %+v", cfg.Shards)
 	}
-	if cfg := (Options{Fast: true}).baseConfig("flat", 100); cfg.Shards != 1 {
+	if cfg := (Options{Fast: true}).BaseConfig("flat", 100); cfg.Shards != 1 {
 		t.Fatalf("default config should stay single-shard, got %d", cfg.Shards)
 	}
 }

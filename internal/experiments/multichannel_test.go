@@ -98,9 +98,9 @@ func TestMultichSweepDeterministic(t *testing.T) {
 // curves meet: replicated allocation for all five comparison schemes at
 // K in {2,4}, and the index/data allocation for the indexed schemes.
 func TestMultichAgreesWithAnalysis(t *testing.T) {
-	nr := fast.comparisonRecords()
+	nr := fast.ComparisonRecords()
 	check := func(label, scheme string, mc multichannel.Config) {
-		cfg := fast.baseConfig(scheme, nr)
+		cfg := fast.BaseConfig(scheme, nr)
 		cfg.Multi = mc
 		res, err := core.RunOne(cfg)
 		if err != nil {

@@ -15,7 +15,7 @@ import (
 // (a run, a shard) is independently seeded and merged deterministically.
 var sanctionedConcurrency = []string{
 	"internal/core/engine.go",
-	"internal/experiments/parallel.go",
+	"internal/airql/parallel.go",
 }
 
 // sanctionedConcurrencyDirs extends the allowlist to whole packages. A

@@ -38,6 +38,10 @@ var kindEnumPackages = []string{
 	"internal/faults",
 	"internal/multichannel",
 	"internal/aircast",
+	// The scenario compiler's token/stage/op/expr kinds: a new token or
+	// stage must extend every switch in the lexer, parser, validator and
+	// executor, or compilation would silently drop it.
+	"internal/airql",
 }
 
 func runExhaustive(pass *Pass) {

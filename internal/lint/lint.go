@@ -94,7 +94,7 @@ type Pass struct {
 	RelPath string
 
 	// RelFile maps each file to its module-relative path (e.g.
-	// "internal/experiments/parallel.go").
+	// "internal/airql/parallel.go").
 	RelFile map[*ast.File]string
 
 	// Escapes holds the compiler escape diagnostics for the build, when
@@ -133,6 +133,10 @@ var simCritical = []string{
 	// every bucket and when a walker hops; any nondeterminism there would
 	// desynchronize the K=1 differential gate, so it is in scope too.
 	"internal/multichannel",
+	// The scenario compiler and executor assemble every result table the
+	// regen gate byte-diffs, so map-iteration order and RNG discipline
+	// there are as replay-critical as the kernel itself.
+	"internal/airql",
 }
 
 // underAny reports whether rel is one of the given module-relative

@@ -73,7 +73,7 @@ func TestAnalyzers(t *testing.T) {
 			"badmethodgo.go:12: confinement",
 		}},
 		// the sanctioned concurrency files may use all of it.
-		{"internal/experiments", nil},
+		{"internal/airql", nil},
 		{"internal/core", nil},
 		// unitsafety: cross-unit conversions ×2, raw constant, unit×unit.
 		{"internal/channel/badunits", []string{
@@ -111,6 +111,18 @@ func TestAnalyzers(t *testing.T) {
 		{"internal/multichannel/bad", []string{
 			"bad.go:9: determinism",
 		}},
+		// exhaustive: the scenario compiler's token/stage enums are closed.
+		{"internal/airql/badswitch", []string{
+			"badswitch.go:9: exhaustive",
+			"badswitch.go:20: exhaustive",
+		}},
+		{"internal/airql/goodswitch", nil},
+		// determinism and rngdiscipline scope covers the scenario compiler.
+		{"internal/airql/bad", []string{
+			"bad.go:13: determinism",
+			"bad.go:17: rngdiscipline",
+		}},
+		{"internal/airql/good", nil},
 		// mergecomplete: a shard fold that drops exactly one counter.
 		{"internal/core/badmerge", []string{
 			"badmerge.go:20: mergecomplete",

@@ -1,0 +1,27 @@
+// Package badswitch dispatches on the scenario compiler's enums without
+// covering them; both switches are exhaustive findings.
+package badswitch
+
+import "example.com/airlintfix/internal/airql"
+
+// TokenName misses TokenNumber and TokenPipe and has no default.
+func TokenName(k airql.TokenKind) string {
+	switch k {
+	case airql.TokenEOF:
+		return "eof"
+	case airql.TokenIdent:
+		return "ident"
+	}
+	return ""
+}
+
+// StageName misses StageEmit and has no default.
+func StageName(k airql.StageKind) string {
+	switch k {
+	case airql.StageSweep:
+		return "sweep"
+	case airql.StageRun:
+		return "run"
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+// Package good is the scenario compiler's negative fixture: the
+// attrquery executor's pattern — a sanctioned RNG seeded from the
+// config's seed plane — produces no findings.
+package good
+
+import "example.com/airlintfix/internal/sim"
+
+func Draw(seed int64, shard int) int64 {
+	rng := sim.NewRNG(seed)
+	_ = rng
+	return sim.StreamSeed(seed, shard, "attrquery")
+}

@@ -1,0 +1,30 @@
+// Package goodswitch covers the scenario compiler's enums: a full case
+// list and an explicit default both satisfy exhaustive.
+package goodswitch
+
+import "example.com/airlintfix/internal/airql"
+
+// Full lists every token kind.
+func Full(k airql.TokenKind) string {
+	switch k {
+	case airql.TokenEOF:
+		return "eof"
+	case airql.TokenIdent:
+		return "ident"
+	case airql.TokenNumber:
+		return "number"
+	case airql.TokenPipe:
+		return "pipe"
+	}
+	return ""
+}
+
+// Defaulted handles the unexpected stage explicitly.
+func Defaulted(k airql.StageKind) string {
+	switch k {
+	case airql.StageSweep:
+		return "sweep"
+	default:
+		return "other"
+	}
+}

@@ -1,0 +1,22 @@
+// kinds.go mirrors the scenario compiler's closed enums for fixtures:
+// exhaustive treats Kind-suffixed types from internal/airql as closed.
+package airql
+
+// TokenKind classifies one lexed token.
+type TokenKind uint8
+
+const (
+	TokenEOF TokenKind = iota
+	TokenIdent
+	TokenNumber
+	TokenPipe
+)
+
+// StageKind classifies one pipeline stage.
+type StageKind uint8
+
+const (
+	StageSweep StageKind = iota
+	StageRun
+	StageEmit
+)

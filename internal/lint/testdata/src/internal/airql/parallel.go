@@ -1,7 +1,7 @@
-// Package experiments mirrors the real module's sanctioned concurrency
-// layer: this file is internal/experiments/parallel.go, the one place
+// Package airql mirrors the real module's sanctioned concurrency
+// layer: this file is internal/airql/parallel.go, the one place
 // goroutines, WaitGroups, and channels are permitted.
-package experiments
+package airql
 
 import "sync"
 
